@@ -1,0 +1,49 @@
+"""Figure 4 — per-feature model quality.
+
+Regenerates the per-extractor F1 comparison (including the Concat baseline) on
+the Deer and BDD datasets, checking the paper's two qualitative findings:
+the best feature differs across datasets (video models win on Deer, CLIP
+variants win on BDD), and concatenating all features does not beat the best
+single feature by a meaningful margin.
+
+Paper scale: 100 steps on six datasets; here 8 steps on two datasets.
+"""
+
+from repro.experiments import run_feature_quality
+
+NUM_STEPS = 8
+
+
+def _run(dataset):
+    return run_feature_quality(dataset, num_steps=NUM_STEPS, seed=0)
+
+
+def test_fig4_feature_quality_deer(benchmark):
+    result = benchmark.pedantic(_run, args=("deer",), rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    curves = result.curves
+    video_best = max(curves["r3d"].final_f1, curves["mvit"].final_f1)
+    # Video models beat the single-frame CLIP feature on Deer.
+    assert video_best > curves["clip"].final_f1
+    # The Random extractor is the worst real signal.
+    assert curves["random"].final_f1 <= min(
+        curves[name].final_f1 for name in ("r3d", "mvit", "clip_pooled")
+    ) + 0.05
+    # Concat does not meaningfully beat the best single feature.
+    best_single = max(
+        curves[name].final_f1 for name in ("r3d", "mvit", "clip", "clip_pooled")
+    )
+    assert curves["concat"].final_f1 <= best_single + 0.15
+
+
+def test_fig4_feature_quality_bdd(benchmark):
+    result = benchmark.pedantic(_run, args=("bdd",), rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    curves = result.curves
+    clip_best = max(curves["clip"].final_f1, curves["clip_pooled"].final_f1)
+    # CLIP variants are at least competitive with the video models on BDD.
+    assert clip_best >= curves["r3d"].final_f1 - 0.05

@@ -1,0 +1,32 @@
+"""Figure 5 — median feature-selection convergence step.
+
+Regenerates the median step at which the rising bandit converges to a single
+feature, comparing horizons T=20 and T=50: shorter horizons eliminate features
+faster, so convergence happens earlier.
+"""
+
+from repro.experiments import format_table, median_selection_step, selection_correctness
+
+NUM_STEPS = 20
+SEEDS = (0, 1)
+
+
+def _run():
+    return selection_correctness(("k20-skew",), horizons=(20, 50), num_steps=NUM_STEPS, seeds=SEEDS)
+
+
+def test_fig5_median_selection_step(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = median_selection_step(results)
+    print()
+    print(format_table(rows, title="Figure 5 — Median feature-selection step"))
+
+    by_horizon = {row["horizon"]: row for row in rows}
+    assert set(by_horizon) == {20, 50}
+    t20 = by_horizon[20]["median_selection_step"]
+    t50 = by_horizon[50]["median_selection_step"]
+    # Convergence should happen within the run at T=20 and not be later than
+    # a small margin at T=50 (the paper reports ~30 steps at T=50).
+    assert t20 is not None
+    if t50 is not None:
+        assert t20 <= t50 + 2

@@ -1,0 +1,39 @@
+"""Figure 8 — Task Scheduler evaluation.
+
+Regenerates the model quality / cumulative visible latency comparison of
+VE-lazy (PP), VE-lazy (X), VE-partial, and VE-full on the Deer dataset, and
+asserts the paper's headline scheduler claims: VE-full has the lowest visible
+latency of all variants while keeping comparable model quality, and the
+per-step visible latency of VE-full is on the order of one second.
+
+Paper scale: 100 steps on three datasets; here 8 steps on Deer.
+"""
+
+from repro.experiments import run_scheduler_comparison
+
+NUM_STEPS = 8
+
+
+def _run():
+    return run_scheduler_comparison("deer", num_steps=NUM_STEPS, lazy_pool_sizes=(10, 50), seed=0)
+
+
+def test_fig8_scheduler_deer(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    full = result.point("ve-full")
+    pp = result.point("ve-lazy(PP)")
+    assert full is not None and pp is not None
+
+    # VE-full is the cheapest variant and far cheaper than full preprocessing.
+    assert result.ve_full_is_cheapest()
+    assert full.cumulative_visible_latency < pp.cumulative_visible_latency / 2
+    # Visible latency per step is on the order of a second (paper: ~1 s).
+    assert full.mean_visible_latency_per_step < 5.0
+    # Model quality stays within a reasonable band of the lazy variants.
+    lazy_best = max(
+        p.final_f1 for p in result.points if p.variant.startswith("ve-lazy")
+    )
+    assert full.final_f1 >= lazy_best - 0.35

@@ -1,0 +1,22 @@
+"""Table 2 — dataset statistics.
+
+Regenerates the paper's dataset table: class counts, skew, and corpus sizes
+(both the scaled corpora generated here and the paper-reported sizes).
+"""
+
+from repro.experiments import dataset_statistics_rows, format_table
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(dataset_statistics_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Table 2 — Datasets"))
+
+    assert len(rows) == 6
+    by_name = {row["dataset"]: row for row in rows}
+    assert by_name["k20"]["num_classes"] == 20
+    assert by_name["charades"]["num_classes"] == 33
+    assert by_name["deer"]["skew"] == "Skewed"
+    assert by_name["k20"]["skew"] == "Uniform"
+    assert by_name["bears"]["skew"] == "Uniform"
+    assert by_name["k20"]["paper_train_videos"] == 13326

@@ -1,0 +1,29 @@
+"""Table 3 — candidate feature extractors.
+
+Regenerates the feature-extractor table (type, architecture, pretraining,
+dimensionality, throughput) and checks the extraction cost model derived from
+the reported throughputs.
+"""
+
+from repro.experiments import feature_extractor_rows, format_table
+from repro.features import PRETRAINED_SPECS
+from repro.scheduler import CostModel
+
+
+def test_table3_feature_extractors(benchmark):
+    rows = benchmark.pedantic(feature_extractor_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Table 3 — Feature extractors"))
+
+    assert [row["feature"] for row in rows] == ["r3d", "mvit", "clip", "clip_pooled", "random"]
+    by_name = {row["feature"]: row for row in rows}
+    assert by_name["r3d"]["throughput"] == 4.03
+    assert by_name["mvit"]["dim"] == 768
+    assert by_name["clip"]["dim"] == 512
+
+    # The cost model charges one 10-second video at 1/throughput seconds.
+    cost = CostModel()
+    r3d_time = cost.video_extraction_time(PRETRAINED_SPECS["r3d"], 10.0)
+    mvit_time = cost.video_extraction_time(PRETRAINED_SPECS["mvit"], 10.0)
+    assert abs(r3d_time - 1.0 / 4.03) < 1e-9
+    assert mvit_time > r3d_time

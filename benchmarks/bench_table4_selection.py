@@ -1,0 +1,33 @@
+"""Table 4 — feature-selection correctness.
+
+Regenerates the fraction of runs in which the rising-bandit feature selector
+picks one of the dataset's "correct" features, at horizons T=20 and T=50.
+
+Paper scale: six datasets, many repetitions; here two datasets and two seeds
+per cell so the bench completes in CPU-minutes.
+"""
+
+from repro.experiments import format_table, selection_correctness
+
+DATASETS = ("deer", "k20-skew")
+NUM_STEPS = 15
+SEEDS = (0, 1)
+
+
+def _run():
+    return selection_correctness(DATASETS, horizons=(20, 50), num_steps=NUM_STEPS, seeds=SEEDS)
+
+
+def test_table4_feature_selection_correctness(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(format_table([r.row() for r in results], title="Table 4 — Feature selection correctness"))
+
+    assert len(results) == len(DATASETS) * 2
+    for result in results:
+        assert 0.0 <= result.correctness <= 1.0
+        assert len(result.trials) == len(SEEDS)
+    # At the longer horizon the selector should pick a correct feature for the
+    # majority of runs on these two datasets (the paper reports >= 0.92).
+    long_horizon = [r for r in results if r.horizon == 50]
+    assert sum(r.correctness for r in long_horizon) / len(long_horizon) >= 0.5

@@ -1,0 +1,93 @@
+"""Domain scenario: wildlife ecologists exploring deer collar-camera video.
+
+This mirrors the paper's motivating example (Section 2.1).  Ecologists have a
+large collection of collar-camera videos and want to estimate how much time
+deer spend on different activities.  The workflow below shows the pieces they
+would actually use:
+
+1. Explore the collection and label whatever the system proposes.
+2. Ask the system to focus on a rare activity (``Explore(label="foraging")``)
+   once the common classes are covered.
+3. Watch a specific video with the model's predictions overlaid.
+4. Produce a time-budget estimate (fraction of time per activity) from model
+   predictions over unlabeled videos.
+
+Run with::
+
+    python examples/deer_activity_monitoring.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import VOCALExplore
+from repro.core import OracleUser
+from repro.datasets import build_dataset
+from repro.types import ClipSpec
+
+
+def main() -> None:
+    dataset = build_dataset("deer", seed=1)
+    vocal = VOCALExplore.for_dataset(dataset)
+    ecologist = OracleUser(dataset.train_corpus, labeling_time=10.0)
+
+    # ------------------------------------------------------------------ phase 1
+    # General exploration: label whatever the system proposes for 8 iterations.
+    print("Phase 1: general exploration")
+    for __ in range(8):
+        result = vocal.explore(batch_size=5, clip_duration=1.0)
+        for segment in result.segments:
+            vocal.add_label(
+                segment.vid, segment.start, segment.end, ecologist.label_for(segment.clip)
+            )
+        vocal.finish_iteration()
+    counts = vocal.session.storage.labels.class_counts()
+    print(f"  labels so far: {dict(sorted(counts.items(), key=lambda kv: -kv[1]))}")
+    print(f"  label diversity S_max = {vocal.session.storage.labels.diversity_smax():.2f}\n")
+
+    # ------------------------------------------------------------------ phase 2
+    # Targeted exploration: the ecologist wants better coverage of "foraging".
+    print("Phase 2: targeted exploration for 'foraging'")
+    for __ in range(4):
+        result = vocal.explore(batch_size=5, clip_duration=1.0, label="foraging")
+        found = 0
+        for segment in result.segments:
+            label = ecologist.label_for(segment.clip)
+            if label == "foraging":
+                found += 1
+            vocal.add_label(segment.vid, segment.start, segment.end, label)
+        vocal.finish_iteration()
+        print(f"  targeted batch returned {found}/5 foraging clips")
+    print()
+
+    # ------------------------------------------------------------------ phase 3
+    # Watch one video with predictions.
+    vid = dataset.train_corpus.vids()[3]
+    print(f"Phase 3: watching video {vid} with predictions")
+    for segment in vocal.watch(vid, start=0.0, end=5.0):
+        truth = dataset.train_corpus.dominant_label(segment.clip)
+        print(
+            f"  [{segment.start:4.1f}s - {segment.end:4.1f}s] "
+            f"predicted={segment.predicted_label!s:<15s} truth={truth}"
+        )
+    print()
+
+    # ------------------------------------------------------------------ phase 4
+    # Time-budget estimate over unlabeled videos using model predictions.
+    print("Phase 4: estimated activity time budget over 40 unlabeled videos")
+    feature = vocal.current_feature()
+    unlabeled = [
+        v for v in dataset.train_corpus.vids()
+        if v not in set(vocal.session.storage.labels.labeled_vids())
+    ][:40]
+    clips = [ClipSpec(vid, 4.0, 5.0) for vid in unlabeled]
+    predictions = vocal.session.models.predict_clips(feature, clips)
+    budget = Counter(p.top_label for p in predictions)
+    total = sum(budget.values())
+    for activity, count in budget.most_common():
+        print(f"  {activity:<15s} {100.0 * count / total:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Robustness to imperfect labelers (paper Section 5.5, small scale).
+
+Real annotators make mistakes.  This example runs the same exploration session
+with a clean oracle and with oracles that corrupt 10 % and 20 % of labels, and
+reports how the resulting model quality and the feature chosen by the rising
+bandit change — illustrating the paper's finding that VOCALExplore tolerates
+reasonable amounts of label noise.
+
+Run with::
+
+    python examples/label_noise_robustness.py
+"""
+
+from __future__ import annotations
+
+from repro import VOCALExplore, VocalExploreConfig
+from repro.core import NoisyOracleUser, OracleUser
+from repro.datasets import build_dataset
+from repro.experiments import ModelEvaluator, format_table
+
+
+def run_session(dataset, oracle, steps=10, seed=0):
+    vocal = VOCALExplore.for_dataset(dataset, config=VocalExploreConfig(seed=seed))
+    for __ in range(steps):
+        result = vocal.explore(batch_size=5, clip_duration=1.0)
+        for segment in result.segments:
+            vocal.add_label(
+                segment.vid, segment.start, segment.end, oracle.label_for(segment.clip)
+            )
+        vocal.finish_iteration()
+    return vocal
+
+
+def main() -> None:
+    dataset = build_dataset("deer", seed=0)
+    evaluator = ModelEvaluator(dataset, seed=0)
+
+    oracles = {
+        "clean labels": OracleUser(dataset.train_corpus),
+        "10% noisy labels": NoisyOracleUser(dataset.train_corpus, noise_rate=0.10, seed=1),
+        "20% noisy labels": NoisyOracleUser(dataset.train_corpus, noise_rate=0.20, seed=1),
+    }
+
+    rows = []
+    for description, oracle in oracles.items():
+        vocal = run_session(dataset, oracle, steps=10)
+        feature = vocal.current_feature()
+        rows.append(
+            {
+                "labeler": description,
+                "chosen_feature": feature,
+                "remaining_candidates": len(vocal.session.alm.candidate_features()),
+                "heldout_f1": evaluator.evaluate_manager(vocal.session.models, feature),
+                "labels_collected": len(vocal.session.storage.labels),
+            }
+        )
+
+    print(format_table(rows, title="Label-noise robustness on the deer dataset (10 Explore steps)"))
+    print()
+    clean_f1 = rows[0]["heldout_f1"]
+    noisy_f1 = rows[-1]["heldout_f1"]
+    print(
+        f"Quality drop from clean to 20% noise: {clean_f1:.3f} -> {noisy_f1:.3f} "
+        f"({100 * (clean_f1 - noisy_f1) / max(clean_f1, 1e-9):.0f}% relative)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Active Learning Manager: acquisition selection, skew tests, feature bandit."""
+
+from .acquisition import (
+    AcquisitionContext,
+    ClusterMarginAcquisition,
+    CoresetAcquisition,
+    FeatureAcquisition,
+    MetadataAcquisition,
+    RandomAcquisition,
+    RareCategoryUncertaintyAcquisition,
+)
+from .bandit import ArmState, BanditSnapshot, RisingBanditSelector
+from .clustering import KMeansResult, kmeans
+from .manager import ActiveLearningManager, SelectionResult
+from .skew import SkewDecision, SkewDetector, anderson_darling_pvalue, frequency_test_pvalue
+from .smoothing import EWMASmoother, ewma
+
+__all__ = [
+    "AcquisitionContext",
+    "MetadataAcquisition",
+    "FeatureAcquisition",
+    "RandomAcquisition",
+    "CoresetAcquisition",
+    "ClusterMarginAcquisition",
+    "RareCategoryUncertaintyAcquisition",
+    "KMeansResult",
+    "kmeans",
+    "SkewDecision",
+    "SkewDetector",
+    "anderson_darling_pvalue",
+    "frequency_test_pvalue",
+    "EWMASmoother",
+    "ewma",
+    "ArmState",
+    "BanditSnapshot",
+    "RisingBanditSelector",
+    "ActiveLearningManager",
+    "SelectionResult",
+]

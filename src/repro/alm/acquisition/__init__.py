@@ -1,0 +1,17 @@
+"""Acquisition functions used by the Active Learning Manager."""
+
+from .base import AcquisitionContext, FeatureAcquisition, MetadataAcquisition
+from .cluster_margin import ClusterMarginAcquisition
+from .coreset import CoresetAcquisition
+from .random_sampler import RandomAcquisition
+from .uncertainty import RareCategoryUncertaintyAcquisition
+
+__all__ = [
+    "AcquisitionContext",
+    "MetadataAcquisition",
+    "FeatureAcquisition",
+    "RandomAcquisition",
+    "CoresetAcquisition",
+    "ClusterMarginAcquisition",
+    "RareCategoryUncertaintyAcquisition",
+]

@@ -1,0 +1,81 @@
+"""Acquisition-function interfaces.
+
+Two families exist, mirroring the paper's cost analysis (Section 3.1.1):
+
+* **Metadata-only** functions (Random) choose clips from video metadata alone
+  and therefore need no preprocessing.
+* **Feature-based** functions (Coreset, Cluster-Margin, rare-category
+  uncertainty) choose from a candidate pool of already-extracted feature
+  vectors and may also consult the latest trained model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ...models.linear import SoftmaxRegression
+from ...types import ClipSpec, VideoRecord
+
+__all__ = ["AcquisitionContext", "MetadataAcquisition", "FeatureAcquisition"]
+
+
+@dataclass
+class AcquisitionContext:
+    """Everything a feature-based acquisition function may consult.
+
+    Attributes:
+        candidates: Clips in the candidate pool (unlabeled, features extracted).
+        candidate_features: Matrix of shape (len(candidates), d), row-aligned
+            with ``candidates``.
+        labeled_clips: Clips that already carry labels.
+        labeled_features: Matrix row-aligned with ``labeled_clips`` (may be
+            empty when no labels exist yet).
+        model: Latest trained model for the feature in use, or None.
+        label_counts: Number of collected labels per class.
+        target_label: Class the user asked Explore to improve, or None.
+    """
+
+    candidates: Sequence[ClipSpec]
+    candidate_features: np.ndarray
+    labeled_clips: Sequence[ClipSpec] = field(default_factory=list)
+    labeled_features: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    model: SoftmaxRegression | None = None
+    label_counts: dict[str, int] = field(default_factory=dict)
+    target_label: str | None = None
+
+
+class MetadataAcquisition:
+    """Acquisition functions that need only video metadata."""
+
+    name: str = "metadata"
+
+    def select(
+        self,
+        videos: Sequence[VideoRecord],
+        count: int,
+        clip_duration: float,
+        rng: np.random.Generator,
+        exclude_vids: Sequence[int] = (),
+    ) -> list[ClipSpec]:
+        """Choose ``count`` clips of ``clip_duration`` seconds from ``videos``."""
+        raise NotImplementedError
+
+
+class FeatureAcquisition:
+    """Acquisition functions that select from a feature candidate pool."""
+
+    name: str = "feature"
+    #: Whether the function needs a trained model (uncertainty/margin methods).
+    requires_model: bool = False
+
+    def select(
+        self,
+        context: AcquisitionContext,
+        count: int,
+        rng: np.random.Generator,
+    ) -> list[ClipSpec]:
+        """Choose up to ``count`` clips from ``context.candidates``."""
+        raise NotImplementedError

@@ -1,0 +1,51 @@
+"""Random acquisition.
+
+Uniformly samples videos (without replacement when possible) and a clip of the
+requested duration within each.  Requires only metadata, so it is the cheapest
+function and the one VE-sample starts with.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...exceptions import AcquisitionError
+from ...types import ClipSpec, VideoRecord
+from ...video.sampler import ClipSampler
+from .base import MetadataAcquisition
+
+__all__ = ["RandomAcquisition"]
+
+
+class RandomAcquisition(MetadataAcquisition):
+    """Uniform random sampling over videos."""
+
+    name = "random"
+
+    def __init__(self, sampler: ClipSampler | None = None) -> None:
+        self._sampler = sampler if sampler is not None else ClipSampler()
+
+    def select(
+        self,
+        videos: Sequence[VideoRecord],
+        count: int,
+        clip_duration: float,
+        rng: np.random.Generator,
+        exclude_vids: Sequence[int] = (),
+    ) -> list[ClipSpec]:
+        """Sample ``count`` clips, preferring videos not in ``exclude_vids``.
+
+        Videos that already carry labels (passed through ``exclude_vids``) are
+        only reused once every other video has been sampled.
+        """
+        if count < 1:
+            raise AcquisitionError(f"count must be >= 1, got {count}")
+        if not videos:
+            raise AcquisitionError("no videos available to sample from")
+        excluded = set(exclude_vids)
+        preferred = [video for video in videos if video.vid not in excluded]
+        pool = preferred if preferred else list(videos)
+        clips = self._sampler.random_clips(pool, clip_duration, count, rng)
+        return clips

@@ -1,0 +1,74 @@
+"""Rare-category uncertainty acquisition for label-targeted Explore calls.
+
+When the user calls ``Explore(..., label=a)``, VE-sample follows the procedure
+of Mullapudi et al. (2021): with ``n_a`` positive labels for activity ``a`` and
+``n_o`` labels of any other activity, the system returns the candidates whose
+predicted probability of ``a`` is *highest* while positives are scarce
+(``n_a < n_o``) and the candidates the model is *most uncertain* about
+(probability closest to 0.5) once positives are plentiful (``n_a >= n_o``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...exceptions import AcquisitionError
+from ...types import ClipSpec
+from .base import AcquisitionContext, FeatureAcquisition
+
+__all__ = ["RareCategoryUncertaintyAcquisition"]
+
+
+class RareCategoryUncertaintyAcquisition(FeatureAcquisition):
+    """Confidence-then-uncertainty sampling targeted at one class."""
+
+    name = "rare-category-uncertainty"
+    requires_model = True
+
+    def select(
+        self,
+        context: AcquisitionContext,
+        count: int,
+        rng: np.random.Generator,
+    ) -> list[ClipSpec]:
+        """Select up to ``count`` candidates for the targeted class.
+
+        Raises:
+            AcquisitionError: when no target label or trained model is provided.
+        """
+        if count < 1:
+            raise AcquisitionError(f"count must be >= 1, got {count}")
+        if context.target_label is None:
+            raise AcquisitionError("rare-category sampling requires a target label")
+        candidates = list(context.candidates)
+        if not candidates:
+            raise AcquisitionError("rare-category sampling needs a non-empty candidate pool")
+        model = context.model
+        if model is None or not model.is_fitted:
+            # Without a model there is no score to rank by; fall back to a
+            # uniform choice so Explore(label=...) still returns clips.
+            indices = rng.choice(len(candidates), size=min(count, len(candidates)), replace=False)
+            return [candidates[int(i)] for i in indices]
+        if context.target_label not in model.classes:
+            raise AcquisitionError(
+                f"target label {context.target_label!r} is not in the model vocabulary"
+            )
+
+        features = np.asarray(context.candidate_features, dtype=np.float64)
+        probabilities = model.predict_proba(features)
+        target_index = model.classes.index(context.target_label)
+        target_probability = probabilities[:, target_index]
+
+        positives = context.label_counts.get(context.target_label, 0)
+        others = sum(
+            count_ for name, count_ in context.label_counts.items() if name != context.target_label
+        )
+        if positives < others:
+            # Few positives: return the most confident candidates to find them.
+            scores = -target_probability
+        else:
+            # Enough positives: return the most uncertain candidates.
+            scores = np.abs(target_probability - 0.5)
+        order = np.argsort(scores, kind="stable")
+        chosen = order[: min(count, len(candidates))]
+        return [candidates[int(i)] for i in chosen]

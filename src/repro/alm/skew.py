@@ -1,0 +1,152 @@
+"""Label-skew detection.
+
+VE-sample starts with random sampling and switches to active learning once the
+collected labels look skewed (Section 3.1.2).  Two tests are implemented:
+
+* The **k-sample Anderson-Darling test** compares the observed label sample
+  against a synthetic uniform sample over the same classes and declares skew
+  when the p-value drops below a small threshold (0.001 in the paper).
+* The **frequency-based test** (Appendix A) bounds the probability that a
+  balanced distribution (every class frequency at least ``1 / (m * k)``) would
+  produce a minimum class count as small as the one observed:
+  ``p <= k * BinomCDF(min_count; n, 1 / (m * k))``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..config import ALMConfig
+from ..exceptions import ALMError
+
+__all__ = ["SkewDecision", "anderson_darling_pvalue", "frequency_test_pvalue", "SkewDetector"]
+
+
+@dataclass(frozen=True)
+class SkewDecision:
+    """Outcome of one skew evaluation."""
+
+    is_skewed: bool
+    p_value: float
+    test: str
+    num_labels: int
+    num_classes: int
+
+
+def _counts_to_sample(counts: Sequence[int]) -> np.ndarray:
+    """Expand class counts into a sample of class indices."""
+    sample = []
+    for class_index, count in enumerate(counts):
+        sample.extend([class_index] * int(count))
+    return np.asarray(sample, dtype=np.float64)
+
+
+def anderson_darling_pvalue(counts: Mapping[str, int] | Sequence[int]) -> float:
+    """p-value of the k-sample Anderson-Darling test against a uniform sample.
+
+    The observed label sample (class indices repeated by their counts) is
+    compared against a perfectly uniform sample of the same size over the same
+    classes.  Small p-values indicate the observed distribution is unlikely to
+    be uniform.
+    """
+    values = list(counts.values()) if isinstance(counts, Mapping) else list(counts)
+    if len(values) < 2:
+        return 1.0
+    total = int(sum(values))
+    if total < len(values):
+        return 1.0
+    # Sort the counts so the test result does not depend on the (arbitrary)
+    # order in which classes were first observed.
+    values = sorted(values, reverse=True)
+    observed = _counts_to_sample(values)
+    # Uniform reference sample of the same size over the same class indices.
+    per_class = total // len(values)
+    remainder = total - per_class * len(values)
+    uniform_counts = [per_class + (1 if i < remainder else 0) for i in range(len(values))]
+    reference = _counts_to_sample(uniform_counts)
+    if np.allclose(observed.sum(), 0) or np.allclose(reference.sum(), 0):
+        return 1.0
+    if len(set(observed.tolist())) < 2 or len(set(reference.tolist())) < 2:
+        # Degenerate samples (all labels identical): maximally skewed.
+        return 0.0
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            result = stats.anderson_ksamp([observed, reference])
+        except ValueError:
+            return 1.0
+    return float(np.clip(result.significance_level, 0.0, 1.0))
+
+
+def frequency_test_pvalue(
+    counts: Mapping[str, int] | Sequence[int],
+    multiplier: float = 2.0,
+) -> float:
+    """Upper bound on the probability a balanced distribution looks this imbalanced.
+
+    Implements Appendix A: ``p = k * BinomCDF(min_i C_i; n, 1 / (m k))``,
+    clipped to [0, 1].
+    """
+    if multiplier < 1:
+        raise ALMError(f"frequency multiplier must be >= 1, got {multiplier}")
+    values = list(counts.values()) if isinstance(counts, Mapping) else list(counts)
+    k = len(values)
+    if k < 2:
+        return 1.0
+    n = int(sum(values))
+    if n == 0:
+        return 1.0
+    min_count = int(min(values))
+    p_value = k * stats.binom.cdf(min_count, n, 1.0 / (multiplier * k))
+    return float(np.clip(p_value, 0.0, 1.0))
+
+
+class SkewDetector:
+    """Decides whether the collected labels are skewed enough to switch to AL."""
+
+    def __init__(self, config: ALMConfig | None = None) -> None:
+        self.config = config if config is not None else ALMConfig()
+
+    def evaluate(self, counts: Mapping[str, int], num_known_classes: int | None = None) -> SkewDecision:
+        """Evaluate skew on the observed per-class label counts.
+
+        Args:
+            counts: Labels collected so far, per class.
+            num_known_classes: Size of the label vocabulary.  Classes the user
+                has declared but never labeled count as zero-frequency classes
+                for the frequency test (a strong signal of skew) but are
+                excluded from the Anderson-Darling comparison, which operates
+                on observed labels only.
+        """
+        observed = dict(counts)
+        num_labels = int(sum(observed.values()))
+        if num_labels < self.config.min_labels_for_skew_test or len(observed) < 2:
+            return SkewDecision(
+                is_skewed=False,
+                p_value=1.0,
+                test=self.config.skew_test,
+                num_labels=num_labels,
+                num_classes=len(observed),
+            )
+
+        if self.config.skew_test == "anderson-darling":
+            p_value = anderson_darling_pvalue(observed)
+            threshold = self.config.skew_p_value
+        else:
+            values = list(observed.values())
+            if num_known_classes is not None and num_known_classes > len(values):
+                values.extend([0] * (num_known_classes - len(values)))
+            p_value = frequency_test_pvalue(values, self.config.frequency_multiplier)
+            threshold = self.config.frequency_alpha
+        return SkewDecision(
+            is_skewed=p_value <= threshold,
+            p_value=p_value,
+            test=self.config.skew_test,
+            num_labels=num_labels,
+            num_classes=len(observed),
+        )

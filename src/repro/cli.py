@@ -1,0 +1,173 @@
+"""Command-line interface for the VOCALExplore reproduction.
+
+Provides three subcommands:
+
+* ``repro-vocal datasets`` — print the Table 2 dataset statistics.
+* ``repro-vocal explore``  — run an interactive-style labeling session with a
+  simulated oracle user on one of the catalog datasets and print the per-step
+  F1 / latency trajectory.
+* ``repro-vocal experiment`` — regenerate one of the paper's tables or figures
+  and print its rows.
+
+Example::
+
+    python -m repro.cli explore --dataset k20-skew --steps 20 --strategy ve-full
+    python -m repro.cli experiment --name fig3 --dataset k20-skew --steps 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .datasets.catalog import DATASET_NAMES
+from .experiments import (
+    format_series,
+    format_table,
+    run_acquisition_comparison,
+    run_end_to_end,
+    run_feature_quality,
+    run_label_noise,
+    run_scheduler_comparison,
+    run_ve_select_comparison,
+    selection_correctness,
+)
+from .experiments.runner import RunnerConfig, SessionRunner
+from .experiments.sensitivity import run_sensitivity_sweep
+from .experiments.tables import format_table2, format_table3
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-vocal",
+        description="VOCALExplore reproduction: pay-as-you-go video exploration",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser("datasets", help="print dataset statistics (Table 2)")
+    datasets.add_argument("--scale", choices=("scaled", "paper"), default="scaled")
+
+    explore = subparsers.add_parser("explore", help="run a simulated labeling session")
+    explore.add_argument("--dataset", choices=DATASET_NAMES, default="deer")
+    explore.add_argument("--steps", type=int, default=20)
+    explore.add_argument("--batch-size", type=int, default=5)
+    explore.add_argument(
+        "--strategy", choices=("serial", "ve-partial", "ve-full"), default="ve-full"
+    )
+    explore.add_argument("--feature", default=None, help="fix the feature extractor")
+    explore.add_argument(
+        "--acquisition",
+        choices=("random", "cluster-margin", "coreset"),
+        default=None,
+        help="fix the acquisition function instead of VE-sample",
+    )
+    explore.add_argument("--label-noise", type=float, default=0.0)
+    explore.add_argument("--seed", type=int, default=0)
+
+    experiment = subparsers.add_parser("experiment", help="regenerate a table or figure")
+    experiment.add_argument(
+        "--name",
+        required=True,
+        choices=(
+            "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9",
+            "sensitivity",
+        ),
+    )
+    experiment.add_argument("--dataset", choices=DATASET_NAMES, default="deer")
+    experiment.add_argument("--steps", type=int, default=10)
+    experiment.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _run_datasets(args: argparse.Namespace) -> str:
+    return format_table2(scale=args.scale)
+
+
+def _run_explore(args: argparse.Namespace) -> str:
+    from .datasets.catalog import build_dataset
+
+    dataset = build_dataset(args.dataset, seed=args.seed)
+    config = RunnerConfig(
+        num_steps=args.steps,
+        batch_size=args.batch_size,
+        strategy=args.strategy,
+        force_feature=args.feature,
+        force_acquisition=args.acquisition,
+        label_noise=args.label_noise,
+        seed=args.seed,
+    )
+    result = SessionRunner(dataset, config).run()
+    rows = [
+        {
+            "step": step.step,
+            "labels": step.num_labels,
+            "acquisition": step.acquisition,
+            "feature": step.feature,
+            "f1": step.f1,
+            "smax": step.smax,
+            "visible_latency_s": step.visible_latency,
+        }
+        for step in result.steps
+    ]
+    lines = [
+        format_table(rows, title=f"Exploration of {args.dataset} ({args.strategy})"),
+        "",
+        f"cumulative visible latency: {result.cumulative_visible_latency:.1f} s",
+        f"selected feature: {result.selected_feature or '(not converged)'}",
+    ]
+    return "\n".join(lines)
+
+
+def _run_experiment(args: argparse.Namespace) -> str:
+    name = args.name
+    if name == "table2":
+        return format_table2()
+    if name == "table3":
+        return format_table3()
+    if name == "table4":
+        results = selection_correctness(
+            (args.dataset,), horizons=(20, 50), num_steps=args.steps, seeds=(args.seed, args.seed + 1)
+        )
+        return format_table([r.row() for r in results], title="Table 4 — feature selection")
+    if name == "fig2":
+        return run_end_to_end(args.dataset, num_steps=args.steps, seed=args.seed).format()
+    if name == "fig3":
+        result = run_acquisition_comparison(args.dataset, num_steps=args.steps, seed=args.seed)
+        series = format_series({m: c.f1 for m, c in result.curves.items()}, title="macro F1")
+        return result.format() + "\n\n" + series
+    if name == "fig4":
+        return run_feature_quality(args.dataset, num_steps=args.steps, seed=args.seed).format()
+    if name == "fig7":
+        return run_ve_select_comparison(args.dataset, num_steps=args.steps, seed=args.seed).format()
+    if name == "fig8":
+        return run_scheduler_comparison(args.dataset, num_steps=args.steps, seed=args.seed).format()
+    if name == "fig9":
+        return run_label_noise(args.dataset, num_steps=args.steps, seed=args.seed).format()
+    if name == "sensitivity":
+        return run_sensitivity_sweep(args.dataset, num_steps=args.steps, seed=args.seed).format()
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+_HANDLERS: dict[str, Callable[[argparse.Namespace], str]] = {
+    "datasets": _run_datasets,
+    "explore": _run_explore,
+    "experiment": _run_experiment,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _HANDLERS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Configuration objects for the VOCALExplore reproduction.
+
+The defaults mirror the hyperparameters reported in the paper:
+
+* ``B = 5`` clips of ``t = 1`` second per Explore call (Section 5, metrics).
+* Anderson-Darling skew threshold ``p <= 0.001`` (Section 3.1.2).
+* Frequency-test imbalance multiplier ``m = 2`` and false-discovery bound
+  ``alpha = 0.05`` (Section 3.1.2 and Appendix A).
+* Rising-bandit smoothing span ``w = 5``, slope window ``C = 5``, horizon
+  ``T = 50``, with feature selection starting after 10 warm-up iterations and
+  3-fold cross-validation (Section 3.2).
+* Eager feature-extraction batch size ``|s| = 10`` and a simulated labeling
+  time of 10 seconds per clip (Sections 4.2 and 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+__all__ = [
+    "ALMConfig",
+    "FeatureSelectionConfig",
+    "SchedulerConfig",
+    "ModelConfig",
+    "ExploreConfig",
+    "VocalExploreConfig",
+]
+
+
+@dataclass(frozen=True)
+class ALMConfig:
+    """Acquisition-function selection (Section 3.1)."""
+
+    #: Statistical test used to detect label skew: "anderson-darling" or "frequency".
+    skew_test: str = "anderson-darling"
+    #: p-value threshold below which the label distribution is declared skewed.
+    skew_p_value: float = 0.001
+    #: Imbalance-ratio multiplier for the frequency-based test (Appendix A).
+    frequency_multiplier: float = 2.0
+    #: False-discovery bound for the frequency-based test.
+    frequency_alpha: float = 0.05
+    #: Active-learning acquisition used once skew is detected:
+    #: "cluster-margin" (default per the paper) or "coreset".
+    active_acquisition: str = "cluster-margin"
+    #: Minimum number of labels before the skew test is evaluated at all.
+    min_labels_for_skew_test: int = 10
+    #: Number of extra videos whose features the lazy variants extract when
+    #: active learning needs a candidate pool (the paper's ``X``).
+    candidate_pool_size: int = 50
+    #: Number of labels required before predictions are returned to the user.
+    min_labels_for_predictions: int = 5
+
+    def __post_init__(self) -> None:
+        if self.skew_test not in ("anderson-darling", "frequency"):
+            raise ValueError(f"unknown skew test {self.skew_test!r}")
+        if self.active_acquisition not in ("cluster-margin", "coreset"):
+            raise ValueError(f"unknown active acquisition {self.active_acquisition!r}")
+        if not 0 < self.skew_p_value < 1:
+            raise ValueError("skew_p_value must be in (0, 1)")
+        if self.frequency_multiplier < 1:
+            raise ValueError("frequency_multiplier must be >= 1")
+
+
+@dataclass(frozen=True)
+class FeatureSelectionConfig:
+    """Rising-bandit feature selection (Section 3.2)."""
+
+    #: EWMA smoothing span ``w``; alpha = 2 / (w + 1).
+    smoothing_span: int = 5
+    #: Slope window ``C`` used to compute the smoothed growth rate.
+    slope_window: int = 5
+    #: Horizon ``T`` at which upper bounds are evaluated.
+    horizon: int = 50
+    #: Number of labeling iterations to wait before starting elimination.
+    warmup_iterations: int = 10
+    #: Number of cross-validation folds used to score each candidate feature.
+    cv_folds: int = 3
+    #: Only classes with at least this many labels participate in the k-fold
+    #: estimate, so every fold contains every class.
+    min_labels_per_class: int = 3
+
+    def __post_init__(self) -> None:
+        if self.smoothing_span < 1:
+            raise ValueError("smoothing_span must be >= 1")
+        if self.slope_window < 1:
+            raise ValueError("slope_window must be >= 1")
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if self.cv_folds < 2:
+            raise ValueError("cv_folds must be >= 2")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Task-scheduler behaviour (Section 4)."""
+
+    #: Scheduling strategy: "serial", "ve-partial", or "ve-full".
+    strategy: str = "ve-full"
+    #: Simulated seconds the user spends labeling one clip (T_user).
+    user_labeling_time: float = 10.0
+    #: Number of videos processed by one eager feature-extraction task (|s|).
+    eager_batch_size: int = 10
+    #: Setup overhead, in simulated seconds, of building one extraction pipeline.
+    pipeline_setup_time: float = 1.0
+    #: Hard cap on eagerly processed videos (the "guardrail" in Section 4.2);
+    #: ``None`` means no cap.
+    eager_video_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("serial", "ve-partial", "ve-full"):
+            raise ValueError(f"unknown scheduler strategy {self.strategy!r}")
+        if self.user_labeling_time < 0:
+            raise ValueError("user_labeling_time must be >= 0")
+        if self.eager_batch_size < 1:
+            raise ValueError("eager_batch_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Linear-probe training configuration."""
+
+    #: L2 regularisation strength applied during training.
+    l2_regularization: float = 1e-2
+    #: Maximum optimiser iterations.
+    max_iterations: int = 200
+    #: Convergence tolerance passed to the optimiser.
+    tolerance: float = 1e-6
+    #: Train a one-vs-rest multi-label model instead of softmax when the
+    #: dataset allows clips to carry multiple labels.
+    multilabel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.l2_regularization < 0:
+            raise ValueError("l2_regularization must be >= 0")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """Per-session exploration parameters."""
+
+    #: Number of clips returned per Explore call (labeling budget increment B).
+    batch_size: int = 5
+    #: Duration, in seconds, of each returned clip (t).
+    clip_duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.clip_duration <= 0:
+            raise ValueError("clip_duration must be > 0")
+
+
+@dataclass(frozen=True)
+class VocalExploreConfig:
+    """Top-level configuration combining every subsystem."""
+
+    alm: ALMConfig = field(default_factory=ALMConfig)
+    feature_selection: FeatureSelectionConfig = field(default_factory=FeatureSelectionConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    model: ModelConfig = field(default_factory=ModelConfig)
+    explore: ExploreConfig = field(default_factory=ExploreConfig)
+    #: Random seed driving sampling, synthetic data, and model initialisation.
+    seed: int = 0
+
+    def with_updates(self, **sections: Mapping[str, Any] | Any) -> "VocalExploreConfig":
+        """Return a copy with whole sections or the seed replaced.
+
+        Example::
+
+            config.with_updates(scheduler=SchedulerConfig(strategy="serial"), seed=7)
+        """
+        valid = {"alm", "feature_selection", "scheduler", "model", "explore", "seed"}
+        unknown = set(sections) - valid
+        if unknown:
+            raise ValueError(f"unknown config sections: {sorted(unknown)}")
+        return replace(self, **sections)

@@ -1,0 +1,14 @@
+"""Core API: the VOCALExplore facade, exploration session, and oracle users."""
+
+from .api import VOCALExplore
+from .oracle import NoisyOracleUser, OracleUser
+from .session import ExplorationSession, ExploreResult, IterationSummary
+
+__all__ = [
+    "VOCALExplore",
+    "ExplorationSession",
+    "ExploreResult",
+    "IterationSummary",
+    "OracleUser",
+    "NoisyOracleUser",
+]

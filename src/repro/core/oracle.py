@@ -1,0 +1,81 @@
+"""Simulated labelers.
+
+The paper's evaluation simulates the user with an oracle that labels each
+returned clip with its ground-truth activity, taking 10 seconds per clip
+(Section 5).  Section 5.5 additionally uses a noisy oracle that corrupts a
+fraction of the labels.  Both are provided here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..types import ClipSpec, Label
+from ..video.corpus import VideoCorpus
+
+__all__ = ["OracleUser", "NoisyOracleUser"]
+
+
+class OracleUser:
+    """Labels clips with their ground-truth dominant activity."""
+
+    def __init__(
+        self,
+        corpus: VideoCorpus,
+        labeling_time: float = 10.0,
+        default_label: str | None = None,
+    ) -> None:
+        """Create an oracle.
+
+        Args:
+            corpus: Source of ground truth.
+            labeling_time: Simulated seconds the user spends per clip.
+            default_label: Label applied when a clip contains no activity;
+                defaults to the corpus's first class.
+        """
+        self.corpus = corpus
+        self.labeling_time = float(labeling_time)
+        self.default_label = (
+            default_label if default_label is not None else corpus.class_names[0]
+        )
+
+    def label_for(self, clip: ClipSpec) -> str:
+        """The label this user would give to one clip."""
+        dominant = self.corpus.dominant_label(clip)
+        return dominant if dominant is not None else self.default_label
+
+    def label_clips(self, clips: Sequence[ClipSpec]) -> list[Label]:
+        """Label every clip in order."""
+        return [
+            Label(vid=clip.vid, start=clip.start, end=clip.end, label=self.label_for(clip))
+            for clip in clips
+        ]
+
+
+class NoisyOracleUser(OracleUser):
+    """Oracle that replaces a fraction of labels with a uniformly random wrong class."""
+
+    def __init__(
+        self,
+        corpus: VideoCorpus,
+        noise_rate: float,
+        labeling_time: float = 10.0,
+        default_label: str | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(corpus, labeling_time=labeling_time, default_label=default_label)
+        if not 0.0 <= noise_rate <= 1.0:
+            raise ValueError(f"noise_rate must be in [0, 1], got {noise_rate}")
+        self.noise_rate = float(noise_rate)
+        self._rng = np.random.default_rng(seed)
+
+    def label_for(self, clip: ClipSpec) -> str:
+        true_label = super().label_for(clip)
+        if self._rng.random() >= self.noise_rate:
+            return true_label
+        alternatives = [name for name in self.corpus.class_names if name != true_label]
+        if not alternatives:
+            return true_label
+        return str(self._rng.choice(alternatives))

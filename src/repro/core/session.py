@@ -1,0 +1,483 @@
+"""Exploration session: the engine behind the VOCALExplore API.
+
+The session wires the five managers together and implements one Explore
+iteration end to end:
+
+1. (active learning only, lazy strategies) grow the candidate feature pool,
+2. select the clips the user should label (T_s),
+3. extract any missing features for those clips (T_f),
+4. attach predictions from the latest trained model (T_i),
+5. collect the user's labels,
+6. schedule model training (T_m) and feature evaluation (T_e) — synchronously
+   for the serial strategy, just-in-time in the background otherwise — and,
+   for VE-full, eagerly extract features from unlabeled videos (T_f-) while
+   the user is busy labeling.
+
+Every duration is charged against the simulated clock through the cost model,
+so cumulative visible latency per strategy reproduces the paper's Figures 2
+and 8 without requiring the authors' GPU testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..alm.manager import ActiveLearningManager, SelectionResult
+from ..config import VocalExploreConfig
+from ..exceptions import ReproError
+from ..features.feature_manager import FeatureManager
+from ..models.model_manager import ModelManager
+from ..scheduler.clock import SimulatedClock
+from ..scheduler.cost_model import CostModel
+from ..scheduler.scheduler import TaskScheduler
+from ..scheduler.strategies import StrategyBehaviour, strategy_behaviour
+from ..scheduler.tasks import Task, TaskKind
+from ..storage.storage_manager import StorageManager
+from ..types import ClipSpec, Label, VideoSegment
+from ..video.corpus import VideoCorpus
+from ..video.sampler import ClipSampler
+
+__all__ = ["ExploreResult", "IterationSummary", "ExplorationSession"]
+
+
+@dataclass(frozen=True)
+class ExploreResult:
+    """What one Explore call returns to the user."""
+
+    iteration: int
+    segments: list[VideoSegment]
+    acquisition: str
+    feature_name: str | None
+    visible_latency: float
+
+
+@dataclass
+class IterationSummary:
+    """Bookkeeping for one completed labeling iteration."""
+
+    iteration: int
+    acquisition: str
+    feature_name: str | None
+    num_labels_total: int
+    visible_latency: float
+    background_time_used: float = 0.0
+    skew_p_value: float | None = None
+    used_active_learning: bool = False
+    eliminated_features: list[str] = field(default_factory=list)
+    candidate_features: list[str] = field(default_factory=list)
+    smax: float = 0.0
+
+
+class ExplorationSession:
+    """Drives one pay-as-you-go exploration workflow over a video corpus."""
+
+    def __init__(
+        self,
+        corpus: VideoCorpus,
+        storage: StorageManager,
+        feature_manager: FeatureManager,
+        model_manager: ModelManager,
+        alm: ActiveLearningManager,
+        config: VocalExploreConfig,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.corpus = corpus
+        self.storage = storage
+        self.features = feature_manager
+        self.models = model_manager
+        self.alm = alm
+        self.config = config
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+
+        self.clock = SimulatedClock()
+        self.scheduler = TaskScheduler(self.clock)
+        self.behaviour: StrategyBehaviour = strategy_behaviour(config.scheduler)
+        self.sampler: ClipSampler = feature_manager.sampler
+
+        #: Experiment overrides: force a fixed acquisition function
+        #: ("random", "cluster-margin", "coreset") or a fixed feature extractor
+        #: instead of VE-sample / VE-select.  None applies the paper's dynamic
+        #: behaviour.
+        self.force_acquisition: str | None = None
+        self.force_feature: str | None = None
+
+        self._iteration = 0
+        self._iteration_open = False
+        self._labels_at_iteration_start = 0
+        self._last_selection: SelectionResult | None = None
+        self._summaries: list[IterationSummary] = []
+        self._round_scores: dict[str, float] = {}
+        self._round_expected: set[str] = set()
+        self._eager_cursor = 0
+        self._eager_videos_done = 0
+
+        if self.behaviour.eager_extraction:
+            self.scheduler.idle_task_factory = self._make_eager_task
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def iteration(self) -> int:
+        """Number of Explore iterations started so far."""
+        return self._iteration
+
+    def summaries(self) -> list[IterationSummary]:
+        """Per-iteration bookkeeping collected so far."""
+        return list(self._summaries)
+
+    def cumulative_visible_latency(self) -> float:
+        """Total user-visible latency accumulated so far."""
+        return self.scheduler.cumulative_visible_latency()
+
+    def current_feature(self) -> str:
+        """Feature extractor currently used for predictions."""
+        return self.alm.current_feature()
+
+    # --------------------------------------------------------------- user API
+    def add_video(self, path: str, duration: float, start_time: float = 0.0, fps: float = 30.0) -> int:
+        """Register an additional video (the paper's ``AddVideo``); returns its vid.
+
+        The video must already exist in the synthetic corpus when ground truth
+        is needed; videos added only through this call participate in sampling
+        and feature extraction but have no ground-truth activities.
+        """
+        record = self.storage.videos.add(path, duration, start_time, fps)
+        return record.vid
+
+    def add_label(self, vid: int, start: float, end: float, label: str) -> None:
+        """Store one user label (the paper's ``AddLabel``)."""
+        self.storage.labels.add(Label(vid=vid, start=start, end=end, label=label))
+
+    def add_labels(self, labels: Sequence[Label]) -> None:
+        """Store several labels at once."""
+        self.storage.labels.add_many(labels)
+
+    def watch(self, vid: int, start: float, end: float) -> list[VideoSegment]:
+        """Return consecutive clips of the requested window with predictions."""
+        video = self.storage.videos.get(vid)
+        clips = self.sampler.consecutive_clips(video, start, end, self.config.explore.clip_duration)
+        feature = self.alm.current_feature()
+        self._charge_foreground_extraction(feature, clips)
+        predictions = self._predict(feature, clips, charge=True)
+        return [VideoSegment(clip=clip, prediction=pred) for clip, pred in zip(clips, predictions)]
+
+    # ----------------------------------------------------------------- explore
+    def explore(
+        self,
+        batch_size: int | None = None,
+        clip_duration: float | None = None,
+        label: str | None = None,
+    ) -> ExploreResult:
+        """Return the next batch of clips the user should label.
+
+        Any iteration whose labels were already provided is finalised first
+        (its training / evaluation / eager work is scheduled into the labeling
+        window), mirroring how the real system overlaps background work with
+        the user's labeling time.
+        """
+        if self._iteration_open:
+            self.finish_iteration()
+
+        batch_size = batch_size if batch_size is not None else self.config.explore.batch_size
+        clip_duration = (
+            clip_duration if clip_duration is not None else self.config.explore.clip_duration
+        )
+
+        self._iteration += 1
+        self.scheduler.begin_iteration(self._iteration)
+        self._labels_at_iteration_start = len(self.storage.labels)
+        self._flush_round_scores()
+
+        skew = self.alm.decide_acquisition()
+        use_active = skew.is_skewed
+        if self.force_acquisition is not None:
+            use_active = self.force_acquisition != "random"
+        feature = self.force_feature if self.force_feature is not None else self.alm.current_feature()
+
+        # Lazy strategies grow the candidate pool in the foreground (paper's X).
+        if use_active and not self.behaviour.eager_extraction and label is None:
+            report = self.alm.ensure_candidate_pool(feature, self.config.alm.candidate_pool_size)
+            if report.videos_touched:
+                self._charge_extraction_batch(feature, report.videos_touched)
+
+        selection = self.alm.select_segments(
+            batch_size,
+            clip_duration,
+            target_label=label,
+            use_active=use_active if label is None else None,
+            feature_name=feature,
+        )
+        self._last_selection = selection
+        self.scheduler.run_foreground(
+            Task(
+                kind=TaskKind.SAMPLE_SELECTION,
+                duration=self.cost_model.selection_time(
+                    len(selection.clips), selection.acquisition != "random"
+                ),
+                description=f"select {len(selection.clips)} clips via {selection.acquisition}",
+            )
+        )
+
+        self._charge_foreground_extraction(selection.feature_name or feature, selection.clips)
+        predictions = self._predict(selection.feature_name or feature, selection.clips, charge=True)
+        segments = [
+            VideoSegment(clip=clip, prediction=pred)
+            for clip, pred in zip(selection.clips, predictions)
+        ]
+
+        self._iteration_open = True
+        visible = self.scheduler.current_iteration.visible_latency
+        return ExploreResult(
+            iteration=self._iteration,
+            segments=segments,
+            acquisition=selection.acquisition,
+            feature_name=selection.feature_name,
+            visible_latency=visible,
+        )
+
+    def finish_iteration(self) -> IterationSummary:
+        """Finalise the current iteration after the user has provided labels.
+
+        Schedules model training and feature evaluation according to the
+        scheduling strategy, runs the background window that models the user's
+        labeling time, and returns the iteration summary.
+        """
+        if not self._iteration_open:
+            raise ReproError("finish_iteration() called with no open iteration")
+        self._iteration_open = False
+
+        selection = self._last_selection
+        batch_size = len(selection.clips) if selection is not None else self.config.explore.batch_size
+        user_time = self.config.scheduler.user_labeling_time
+        window = batch_size * user_time
+        num_labels = len(self.storage.labels)
+        labels_added = num_labels - self._labels_at_iteration_start
+        feature = selection.feature_name if selection is not None else self.alm.current_feature()
+        eliminated: list[str] = []
+
+        if self.behaviour.is_serial:
+            # Everything runs synchronously and counts as visible latency.
+            self._train_synchronously(feature)
+            eliminated = self._evaluate_synchronously()
+            self.clock.advance(window)
+        else:
+            self._schedule_background_training(feature, batch_size, user_time, labels_added)
+            self._schedule_background_evaluation(num_labels)
+            self.scheduler.run_background_window(window)
+
+        record = self.scheduler.current_iteration
+        summary = IterationSummary(
+            iteration=self._iteration,
+            acquisition=selection.acquisition if selection is not None else "random",
+            feature_name=feature,
+            num_labels_total=num_labels,
+            visible_latency=record.visible_latency,
+            background_time_used=record.background_time_used,
+            skew_p_value=selection.skew.p_value if selection is not None and selection.skew else None,
+            used_active_learning=selection.acquisition not in ("random",) if selection else False,
+            eliminated_features=eliminated,
+            candidate_features=self.alm.candidate_features(),
+            smax=self.storage.labels.diversity_smax(),
+        )
+        self._summaries.append(summary)
+        return summary
+
+    # ------------------------------------------------------------ cost charging
+    def _charge_foreground_extraction(self, feature: str, clips: Sequence[ClipSpec]) -> None:
+        report = self.features.ensure_clip_features(feature, clips)
+        if report.extracted_clips == 0:
+            return
+        spec = self.features.extractor(feature).spec
+        duration = self.cost_model.pipeline_setup_time + sum(
+            self.cost_model.clip_extraction_time(spec, clip.duration) for clip in clips
+        )
+        self.scheduler.run_foreground(
+            Task(
+                kind=TaskKind.FEATURE_EXTRACTION,
+                duration=duration,
+                description=f"extract {report.extracted_clips} clips with {feature}",
+            )
+        )
+
+    def _charge_extraction_batch(self, feature: str, num_videos: int) -> None:
+        spec = self.features.extractor(feature).spec
+        mean_duration = self._mean_video_duration()
+        duration = self.cost_model.extraction_batch_time(spec, num_videos, mean_duration)
+        self.scheduler.run_foreground(
+            Task(
+                kind=TaskKind.FEATURE_EXTRACTION,
+                duration=duration,
+                description=f"extract candidate pool of {num_videos} videos with {feature}",
+            )
+        )
+
+    def _mean_video_duration(self) -> float:
+        total = self.storage.videos.total_duration()
+        count = len(self.storage.videos)
+        return total / count if count else self.cost_model.reference_video_duration
+
+    def _predict(self, feature: str, clips: Sequence[ClipSpec], charge: bool) -> list:
+        enough_labels = len(self.storage.labels) >= self.config.alm.min_labels_for_predictions
+        if not clips or not enough_labels or not self.models.has_model(feature):
+            return [None] * len(clips)
+        if charge:
+            self.scheduler.run_foreground(
+                Task(
+                    kind=TaskKind.MODEL_INFERENCE,
+                    duration=self.cost_model.inference_time(len(clips)),
+                    description=f"predict {len(clips)} clips with {feature}",
+                )
+            )
+        return self.models.predict_clips(feature, clips)
+
+    # --------------------------------------------------------------- training
+    def _train_synchronously(self, feature: str) -> None:
+        if not self.models.can_train():
+            return
+        num_labels = len(self.storage.labels)
+        self.scheduler.run_foreground(
+            Task(
+                kind=TaskKind.MODEL_TRAINING,
+                duration=self.cost_model.training_time(num_labels),
+                action=lambda at, f=feature: self.models.train_if_possible(f, at_time=at),
+                description=f"train {feature} on {num_labels} labels",
+            )
+        )
+
+    def _evaluate_synchronously(self) -> list[str]:
+        if not self.models.can_train():
+            return []
+        num_labels = len(self.storage.labels)
+        scores = {}
+        for name in self.alm.candidate_features():
+            self.scheduler.run_foreground(
+                Task(
+                    kind=TaskKind.FEATURE_EVALUATION,
+                    duration=self.cost_model.evaluation_time(num_labels),
+                    description=f"evaluate feature {name}",
+                )
+            )
+        scores = self.alm.evaluate_features()
+        return self.alm.update_feature_scores(scores)
+
+    def _schedule_background_training(
+        self,
+        feature: str,
+        batch_size: int,
+        user_time: float,
+        labels_added: int,
+    ) -> None:
+        total_labels = len(self.storage.labels)
+        if total_labels < 2:
+            return
+        offset = (
+            self.cost_model.jit_training_offset(batch_size, user_time, total_labels)
+            if self.behaviour.jit_training
+            else 0.0
+        )
+        # Just-in-time training uses the labels that have arrived by the time
+        # the task is submitted.
+        labels_before = self._labels_at_iteration_start + (
+            int(offset // user_time) if user_time > 0 else labels_added
+        )
+        labels_before = min(max(labels_before, self._labels_at_iteration_start), total_labels)
+        label_limit = labels_before if labels_before > 0 else None
+        self.scheduler.submit(
+            Task(
+                kind=TaskKind.MODEL_TRAINING,
+                duration=self.cost_model.training_time(labels_before),
+                action=lambda at, f=feature, limit=label_limit: self.models.train_if_possible(
+                    f, at_time=at, label_limit=limit
+                ),
+                description=f"JIT train {feature} on {labels_before} labels",
+            ),
+            available_at=self.clock.now + offset,
+        )
+
+    def _schedule_background_evaluation(self, num_labels: int) -> None:
+        if not self.models.can_train():
+            return
+        active = self.alm.candidate_features()
+        if len(active) <= 1:
+            return
+        self._round_expected = set(active)
+        self._round_scores = {}
+        for name in active:
+            self.scheduler.submit(
+                Task(
+                    kind=TaskKind.FEATURE_EVALUATION,
+                    duration=self.cost_model.evaluation_time(num_labels),
+                    action=lambda at, n=name: self._record_feature_score(n),
+                    description=f"evaluate feature {name}",
+                )
+            )
+
+    def _record_feature_score(self, feature_name: str) -> None:
+        try:
+            result = self.models.cross_validate(
+                feature_name,
+                num_folds=self.config.feature_selection.cv_folds,
+                min_labels_per_class=self.config.feature_selection.min_labels_per_class,
+            )
+            self._round_scores[feature_name] = result.mean_f1
+        except Exception:
+            self._round_scores[feature_name] = 0.0
+
+    def _flush_round_scores(self) -> list[str]:
+        """Feed a completed evaluation round to the bandit (at the next Explore)."""
+        if not self._round_expected:
+            return []
+        completed = set(self._round_scores)
+        if not self._round_expected.issubset(completed):
+            return []
+        scores = dict(self._round_scores)
+        self._round_expected = set()
+        self._round_scores = {}
+        return self.alm.update_feature_scores(scores)
+
+    # --------------------------------------------------------- eager extraction
+    def _make_eager_task(self) -> Task | None:
+        """Create one eager feature-extraction task (VE-full's T_f-)."""
+        limit = self.config.scheduler.eager_video_limit
+        if limit is not None and self._eager_videos_done >= limit:
+            return None
+        candidates = self.alm.candidate_features()
+        if not candidates:
+            return None
+        labeled = set(self.storage.labels.labeled_vids())
+        all_vids = self.storage.videos.vids()
+        batch: list[int] = []
+        feature_for_batch: str | None = None
+        # The paper schedules eager tasks for every candidate feature over the
+        # same batch of videos; here the candidates are kept balanced by always
+        # extending the feature whose eager set S is currently smallest.
+        batch_limit = self.config.scheduler.eager_batch_size
+        if limit is not None:
+            batch_limit = min(batch_limit, limit - self._eager_videos_done)
+        for feature in sorted(candidates, key=lambda f: len(self.features.vids_with_features(f))):
+            processed = set(self.features.vids_with_features(feature))
+            fresh = [vid for vid in all_vids if vid not in processed and vid not in labeled]
+            if fresh:
+                batch = fresh[:batch_limit]
+                feature_for_batch = feature
+                break
+        if not batch or feature_for_batch is None:
+            return None
+
+        spec = self.features.extractor(feature_for_batch).spec
+        duration = self.cost_model.extraction_batch_time(
+            spec, len(batch), self._mean_video_duration()
+        )
+        self._eager_videos_done += len(batch)
+
+        def action(at_time: float, feature=feature_for_batch, vids=tuple(batch)) -> None:
+            self.features.ensure_video_features(feature, list(vids))
+
+        return Task(
+            kind=TaskKind.EAGER_FEATURE_EXTRACTION,
+            duration=duration,
+            action=action,
+            description=f"eager extract {len(batch)} videos with {feature_for_batch}",
+        )

@@ -1,0 +1,18 @@
+"""Synthetic dataset catalog reproducing the paper's Table 2 datasets."""
+
+from .catalog import DATASET_NAMES, all_dataset_specs, build_dataset, dataset_spec
+from .synthetic import Dataset, DatasetSpec, generate_dataset
+from .zipf import imbalance_ratio, zipf_counts, zipf_probabilities
+
+__all__ = [
+    "DATASET_NAMES",
+    "dataset_spec",
+    "build_dataset",
+    "all_dataset_specs",
+    "Dataset",
+    "DatasetSpec",
+    "generate_dataset",
+    "zipf_probabilities",
+    "zipf_counts",
+    "imbalance_ratio",
+]

@@ -1,0 +1,61 @@
+"""Zipfian class-frequency utilities.
+
+K20 (skew) in the paper follows a Zipf distribution with exponent ``s = 2``
+over its 20 classes; the most common class has 650 videos and the least common
+only 3.  These helpers produce such distributions and per-class video counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DatasetError
+
+__all__ = ["zipf_probabilities", "zipf_counts", "imbalance_ratio"]
+
+
+def zipf_probabilities(num_classes: int, exponent: float = 2.0) -> np.ndarray:
+    """Normalised Zipf probabilities ``p_i ∝ 1 / i^s`` for ranks 1..k."""
+    if num_classes < 1:
+        raise DatasetError(f"num_classes must be >= 1, got {num_classes}")
+    if exponent < 0:
+        raise DatasetError(f"exponent must be >= 0, got {exponent}")
+    ranks = np.arange(1, num_classes + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, exponent)
+    return weights / weights.sum()
+
+
+def zipf_counts(
+    num_classes: int,
+    total: int,
+    exponent: float = 2.0,
+    min_count: int = 1,
+) -> list[int]:
+    """Per-class item counts following a Zipf distribution.
+
+    Every class receives at least ``min_count`` items; the remainder is
+    apportioned by the Zipf probabilities (largest-remainder rounding), so the
+    counts always sum exactly to ``total``.
+    """
+    if total < num_classes * min_count:
+        raise DatasetError(
+            f"total={total} is too small for {num_classes} classes with min_count={min_count}"
+        )
+    probabilities = zipf_probabilities(num_classes, exponent)
+    remaining = total - num_classes * min_count
+    raw = probabilities * remaining
+    counts = np.floor(raw).astype(int)
+    shortfall = remaining - counts.sum()
+    # Largest-remainder apportionment of the leftover items.
+    remainders = raw - counts
+    for index in np.argsort(remainders)[::-1][:shortfall]:
+        counts[index] += 1
+    return [int(c) + min_count for c in counts]
+
+
+def imbalance_ratio(counts: list[int] | np.ndarray) -> float:
+    """Ratio between the most and least frequent class counts."""
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.size == 0 or counts.min() <= 0:
+        raise DatasetError("imbalance ratio requires positive class counts")
+    return float(counts.max() / counts.min())

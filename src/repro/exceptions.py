@@ -1,0 +1,92 @@
+"""Exception hierarchy for the VOCALExplore reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class StorageError(ReproError):
+    """Raised by the storage manager and its stores."""
+
+
+class SchemaError(StorageError):
+    """Raised when rows or columns do not match a table schema."""
+
+
+class TableNotFoundError(StorageError):
+    """Raised when a named table does not exist in a catalog."""
+
+
+class DuplicateKeyError(StorageError):
+    """Raised when inserting a row whose primary key already exists."""
+
+
+class VideoError(ReproError):
+    """Raised by the synthetic video substrate."""
+
+
+class UnknownVideoError(VideoError):
+    """Raised when a video id is not present in the corpus."""
+
+
+class InvalidClipError(VideoError):
+    """Raised when a clip specification does not fall inside its video."""
+
+
+class FeatureError(ReproError):
+    """Raised by the feature manager and extractors."""
+
+
+class UnknownExtractorError(FeatureError):
+    """Raised when a feature extractor name is not registered."""
+
+
+class MissingFeatureError(FeatureError):
+    """Raised when a requested feature vector has not been extracted yet."""
+
+
+class ModelError(ReproError):
+    """Raised by the model manager."""
+
+
+class NotFittedError(ModelError):
+    """Raised when predicting with a model that has not been trained."""
+
+
+class InsufficientLabelsError(ModelError):
+    """Raised when training is requested with too few labels or classes."""
+
+
+class ALMError(ReproError):
+    """Raised by the active learning manager."""
+
+
+class AcquisitionError(ALMError):
+    """Raised when an acquisition function cannot produce a sample."""
+
+
+class FeatureSelectionError(ALMError):
+    """Raised by the rising-bandit feature selector."""
+
+
+class SchedulerError(ReproError):
+    """Raised by the task scheduler."""
+
+
+class TaskError(SchedulerError):
+    """Raised when a scheduled task fails to execute."""
+
+
+class DatasetError(ReproError):
+    """Raised by the synthetic dataset catalog."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness."""

@@ -1,0 +1,92 @@
+"""Experiment harness reproducing every table and figure of the paper's evaluation."""
+
+from .acquisition import (
+    ACQUISITION_METHODS,
+    BEST_FEATURE_BY_DATASET,
+    AcquisitionCurve,
+    AcquisitionResult,
+    run_acquisition_comparison,
+)
+from .end_to_end import DEFAULT_FIG2_DATASETS, EndToEndPoint, EndToEndResult, run_end_to_end
+from .evaluation import ModelEvaluator
+from .feature_quality import (
+    FeatureQualityCurve,
+    FeatureQualityResult,
+    concat_reference_f1,
+    run_feature_quality,
+)
+from .feature_selection import (
+    SelectionCorrectness,
+    SelectionTrial,
+    VESelectComparison,
+    bound_trace,
+    median_selection_step,
+    run_selection_trials,
+    run_ve_select_comparison,
+    selection_correctness,
+)
+from .label_noise import DEFAULT_NOISE_RATES, LabelNoiseResult, NoiseCurve, run_label_noise
+from .reporting import format_series, format_table, summarize_series
+from .runner import RunnerConfig, RunResult, SessionRunner, StepMetrics, run_session
+from .sensitivity import (
+    DEFAULT_GRID,
+    SensitivityCell,
+    SensitivityResult,
+    run_sensitivity_sweep,
+)
+from .scheduler_eval import (
+    DEFAULT_FIG8_DATASETS,
+    SchedulerPoint,
+    SchedulerResult,
+    run_scheduler_comparison,
+)
+from .tables import dataset_statistics_rows, feature_extractor_rows, format_table2, format_table3
+
+__all__ = [
+    "ModelEvaluator",
+    "RunnerConfig",
+    "RunResult",
+    "StepMetrics",
+    "SessionRunner",
+    "run_session",
+    "format_table",
+    "format_series",
+    "summarize_series",
+    "EndToEndPoint",
+    "EndToEndResult",
+    "run_end_to_end",
+    "DEFAULT_FIG2_DATASETS",
+    "AcquisitionCurve",
+    "AcquisitionResult",
+    "run_acquisition_comparison",
+    "ACQUISITION_METHODS",
+    "BEST_FEATURE_BY_DATASET",
+    "FeatureQualityCurve",
+    "FeatureQualityResult",
+    "run_feature_quality",
+    "concat_reference_f1",
+    "SelectionTrial",
+    "SelectionCorrectness",
+    "run_selection_trials",
+    "selection_correctness",
+    "median_selection_step",
+    "bound_trace",
+    "VESelectComparison",
+    "run_ve_select_comparison",
+    "SchedulerPoint",
+    "SchedulerResult",
+    "run_scheduler_comparison",
+    "DEFAULT_FIG8_DATASETS",
+    "NoiseCurve",
+    "LabelNoiseResult",
+    "run_label_noise",
+    "DEFAULT_NOISE_RATES",
+    "dataset_statistics_rows",
+    "feature_extractor_rows",
+    "format_table2",
+    "format_table3",
+    "SensitivityCell",
+    "SensitivityResult",
+    "run_sensitivity_sweep",
+    "DEFAULT_GRID",
+]

@@ -1,0 +1,137 @@
+"""Figure 3: acquisition-function selection.
+
+For every dataset the paper compares, on the per-dataset best feature:
+always-Random, always-Coreset, always-Cluster-Margin, VE-sample (Random vs
+Coreset via the Anderson-Darling test), VE-sample (CM) (Random vs
+Cluster-Margin), and Freq (Random vs Cluster-Margin via the frequency test).
+Each method is scored by the macro F1 of the resulting model and by the label
+diversity S_max (lower is better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets.catalog import build_dataset
+from ..datasets.synthetic import Dataset
+from .reporting import format_table
+from .runner import RunnerConfig, RunResult, SessionRunner
+
+__all__ = [
+    "BEST_FEATURE_BY_DATASET",
+    "ACQUISITION_METHODS",
+    "AcquisitionCurve",
+    "AcquisitionResult",
+    "run_acquisition_comparison",
+]
+
+#: The per-dataset best feature the paper uses for Figure 3 (Section 5.2).
+BEST_FEATURE_BY_DATASET = {
+    "deer": "r3d",
+    "k20": "clip_pooled",
+    "k20-skew": "mvit",
+    "charades": "mvit",
+    "bears": "clip_pooled",
+    "bdd": "clip_pooled",
+}
+
+#: Method name -> RunnerConfig fields that realise it.
+ACQUISITION_METHODS: dict[str, dict[str, object]] = {
+    "random": {"force_acquisition": "random"},
+    "coreset": {"force_acquisition": "coreset", "active_acquisition": "coreset"},
+    "cluster-margin": {"force_acquisition": "cluster-margin", "active_acquisition": "cluster-margin"},
+    "ve-sample": {"force_acquisition": None, "active_acquisition": "coreset"},
+    "ve-sample-cm": {"force_acquisition": None, "active_acquisition": "cluster-margin"},
+    "freq": {
+        "force_acquisition": None,
+        "active_acquisition": "cluster-margin",
+        "skew_test": "frequency",
+    },
+}
+
+
+@dataclass(frozen=True)
+class AcquisitionCurve:
+    """F1 and S_max trajectories for one method on one dataset."""
+
+    dataset: str
+    method: str
+    feature: str
+    f1: tuple[float, ...]
+    smax: tuple[float, ...]
+
+    @property
+    def final_f1(self) -> float:
+        return self.f1[-1] if self.f1 else 0.0
+
+    @property
+    def final_smax(self) -> float:
+        return self.smax[-1] if self.smax else 0.0
+
+
+@dataclass
+class AcquisitionResult:
+    """All method curves for one dataset (one panel pair of Figure 3)."""
+
+    dataset: str
+    feature: str
+    curves: dict[str, AcquisitionCurve] = field(default_factory=dict)
+
+    def rows(self) -> list[dict[str, object]]:
+        return [
+            {
+                "dataset": self.dataset,
+                "method": name,
+                "feature": curve.feature,
+                "final_f1": curve.final_f1,
+                "mean_f1": sum(curve.f1) / len(curve.f1) if curve.f1 else 0.0,
+                "final_smax": curve.final_smax,
+            }
+            for name, curve in self.curves.items()
+        ]
+
+    def format(self) -> str:
+        return format_table(self.rows(), title=f"Figure 3 — {self.dataset} (feature={self.feature})")
+
+    def method_beats_random(self, method: str, tolerance: float = 0.02) -> bool:
+        """True when ``method``'s final F1 is at least Random's minus ``tolerance``."""
+        if "random" not in self.curves or method not in self.curves:
+            return False
+        return self.curves[method].final_f1 >= self.curves["random"].final_f1 - tolerance
+
+
+def _curve_from_run(dataset: str, method: str, feature: str, run: RunResult) -> AcquisitionCurve:
+    return AcquisitionCurve(
+        dataset=dataset,
+        method=method,
+        feature=feature,
+        f1=tuple(run.f1_series()),
+        smax=tuple(run.smax_series()),
+    )
+
+
+def run_acquisition_comparison(
+    dataset: Dataset | str,
+    num_steps: int = 30,
+    methods: tuple[str, ...] | None = None,
+    feature: str | None = None,
+    seed: int = 0,
+) -> AcquisitionResult:
+    """Reproduce one dataset's Figure 3 panels (F1 and S_max curves)."""
+    dataset = build_dataset(dataset, seed=seed) if isinstance(dataset, str) else dataset
+    feature = feature if feature is not None else BEST_FEATURE_BY_DATASET.get(dataset.name, "mvit")
+    chosen_methods = methods if methods is not None else tuple(ACQUISITION_METHODS)
+
+    result = AcquisitionResult(dataset=dataset.name, feature=feature)
+    for method in chosen_methods:
+        overrides = ACQUISITION_METHODS[method]
+        config = RunnerConfig(
+            num_steps=num_steps,
+            strategy="ve-full",
+            force_feature=feature,
+            seed=seed,
+            **overrides,  # type: ignore[arg-type]
+        )
+        run = SessionRunner(dataset, config).run()
+        result.curves[method] = _curve_from_run(dataset.name, method, feature, run)
+    return result

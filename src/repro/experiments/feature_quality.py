@@ -1,0 +1,131 @@
+"""Figure 4: per-feature model quality.
+
+For every dataset, train with VE-sample (CM) on each candidate feature in turn
+(plus the concatenation of all features) and record the macro-F1 curve.  The
+paper uses these curves to define which features count as "correct" picks in
+Table 4 and to show that Concat does not beat the best single feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.catalog import build_dataset
+from ..datasets.synthetic import Dataset
+from ..features.pretrained import DEFAULT_EXTRACTOR_NAMES, build_default_registry
+from ..models.linear import SoftmaxRegression
+from ..types import ClipSpec
+from ..video.decoder import Decoder
+from .evaluation import ModelEvaluator
+from .reporting import format_table
+from .runner import RunnerConfig, SessionRunner
+
+__all__ = ["FeatureQualityCurve", "FeatureQualityResult", "run_feature_quality", "concat_reference_f1"]
+
+
+@dataclass(frozen=True)
+class FeatureQualityCurve:
+    """F1 trajectory of one feature on one dataset."""
+
+    dataset: str
+    feature: str
+    f1: tuple[float, ...]
+
+    @property
+    def final_f1(self) -> float:
+        return self.f1[-1] if self.f1 else 0.0
+
+    @property
+    def mean_f1(self) -> float:
+        return sum(self.f1) / len(self.f1) if self.f1 else 0.0
+
+
+@dataclass
+class FeatureQualityResult:
+    """All feature curves for one dataset (one panel of Figure 4)."""
+
+    dataset: str
+    curves: dict[str, FeatureQualityCurve] = field(default_factory=dict)
+
+    def rows(self) -> list[dict[str, object]]:
+        return [
+            {
+                "dataset": self.dataset,
+                "feature": name,
+                "final_f1": curve.final_f1,
+                "mean_f1": curve.mean_f1,
+            }
+            for name, curve in self.curves.items()
+        ]
+
+    def ranking(self) -> list[str]:
+        """Features ordered from best to worst final F1."""
+        return sorted(self.curves, key=lambda name: self.curves[name].final_f1, reverse=True)
+
+    def best_feature(self) -> str:
+        return self.ranking()[0]
+
+    def format(self) -> str:
+        return format_table(self.rows(), title=f"Figure 4 — {self.dataset}")
+
+
+def run_feature_quality(
+    dataset: Dataset | str,
+    num_steps: int = 30,
+    features: tuple[str, ...] | None = None,
+    include_concat: bool = True,
+    seed: int = 0,
+) -> FeatureQualityResult:
+    """Reproduce one dataset's Figure 4 panel."""
+    dataset = build_dataset(dataset, seed=seed) if isinstance(dataset, str) else dataset
+    chosen = features if features is not None else DEFAULT_EXTRACTOR_NAMES
+    result = FeatureQualityResult(dataset=dataset.name)
+    for feature in chosen:
+        run = SessionRunner(
+            dataset,
+            RunnerConfig(
+                num_steps=num_steps,
+                strategy="ve-full",
+                force_feature=feature,
+                active_acquisition="cluster-margin",
+                seed=seed,
+            ),
+        ).run()
+        result.curves[feature] = FeatureQualityCurve(
+            dataset=dataset.name, feature=feature, f1=tuple(run.f1_series())
+        )
+    if include_concat:
+        concat_f1 = concat_reference_f1(dataset, num_labels=num_steps * 5, seed=seed)
+        result.curves["concat"] = FeatureQualityCurve(
+            dataset=dataset.name, feature="concat", f1=(concat_f1,)
+        )
+    return result
+
+
+def concat_reference_f1(dataset: Dataset, num_labels: int = 150, seed: int = 0) -> float:
+    """F1 of the Concat baseline trained on a random labeled sample.
+
+    The paper's point is qualitative — concatenating every feature does not
+    beat the best single feature — so a single reference number (rather than a
+    full labeling trajectory) is sufficient and far cheaper to compute.
+    """
+    registry = build_default_registry(
+        dataset.train_corpus.latent_dim,
+        dataset.feature_qualities,
+        seed=seed,
+        include_concat=True,
+    )
+    concat = registry.get("concat")
+    decoder = Decoder(dataset.train_corpus)
+    rng = np.random.default_rng(seed)
+    videos = dataset.train_corpus.videos()
+    count = min(num_labels, len(videos))
+    chosen = rng.choice(len(videos), size=count, replace=False)
+    clips = [ClipSpec(videos[int(i)].vid, 2.0, 3.0) for i in chosen]
+    labels = [dataset.train_corpus.dominant_label(clip) for clip in clips]
+    features = np.vstack([concat.extract(decoder.decode(clip)) for clip in clips])
+    model = SoftmaxRegression(dataset.class_names).fit(features, labels)
+    evaluator = ModelEvaluator(dataset, seed=seed, registry=registry)
+    return evaluator.evaluate_model(model, "concat")

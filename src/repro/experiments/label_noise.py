@@ -1,0 +1,117 @@
+"""Figure 9: robustness to label noise.
+
+Repeats the VE-select experiment (feature selection with VE-sample (CM)
+acquisition) while an oracle corrupts 5 %, 10 %, or 20 % of the labels, and
+compares the resulting F1 curves against the noise-free run and against the
+empirically best and worst fixed strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets.catalog import build_dataset
+from ..datasets.synthetic import Dataset
+from .feature_quality import run_feature_quality
+from .reporting import format_table
+from .runner import RunnerConfig, SessionRunner
+
+__all__ = ["NoiseCurve", "LabelNoiseResult", "run_label_noise", "DEFAULT_NOISE_RATES"]
+
+DEFAULT_NOISE_RATES = (0.0, 0.05, 0.10, 0.20)
+
+
+@dataclass(frozen=True)
+class NoiseCurve:
+    """F1 trajectory at one noise rate."""
+
+    dataset: str
+    noise_rate: float
+    f1: tuple[float, ...]
+
+    @property
+    def final_f1(self) -> float:
+        return self.f1[-1] if self.f1 else 0.0
+
+
+@dataclass
+class LabelNoiseResult:
+    """All noise rates for one dataset (one panel of Figure 9)."""
+
+    dataset: str
+    curves: dict[float, NoiseCurve] = field(default_factory=dict)
+    best_feature: str = ""
+    best_final_f1: float = 0.0
+    worst_feature: str = ""
+    worst_final_f1: float = 0.0
+
+    def rows(self) -> list[dict[str, object]]:
+        rows = [
+            {
+                "dataset": self.dataset,
+                "noise_rate": rate,
+                "final_f1": curve.final_f1,
+                "mean_f1": sum(curve.f1) / len(curve.f1) if curve.f1 else 0.0,
+            }
+            for rate, curve in sorted(self.curves.items())
+        ]
+        rows.append(
+            {
+                "dataset": self.dataset,
+                "noise_rate": "best fixed",
+                "final_f1": self.best_final_f1,
+                "mean_f1": None,
+            }
+        )
+        rows.append(
+            {
+                "dataset": self.dataset,
+                "noise_rate": "worst fixed",
+                "final_f1": self.worst_final_f1,
+                "mean_f1": None,
+            }
+        )
+        return rows
+
+    def format(self) -> str:
+        return format_table(self.rows(), title=f"Figure 9 — {self.dataset}")
+
+    def noisy_beats_worst(self, rate: float) -> bool:
+        """True when the run at ``rate`` still beats the worst fixed strategy."""
+        curve = self.curves.get(rate)
+        if curve is None:
+            return False
+        return curve.final_f1 >= self.worst_final_f1 - 1e-9
+
+
+def run_label_noise(
+    dataset: Dataset | str,
+    noise_rates: tuple[float, ...] = DEFAULT_NOISE_RATES,
+    num_steps: int = 30,
+    seed: int = 0,
+) -> LabelNoiseResult:
+    """Reproduce one dataset's Figure 9 panel."""
+    dataset = build_dataset(dataset, seed=seed) if isinstance(dataset, str) else dataset
+    result = LabelNoiseResult(dataset=dataset.name)
+
+    quality = run_feature_quality(dataset, num_steps=num_steps, include_concat=False, seed=seed)
+    ranking = [name for name in quality.ranking() if name != "random"]
+    result.best_feature = ranking[0]
+    result.best_final_f1 = quality.curves[ranking[0]].final_f1
+    result.worst_feature = ranking[-1]
+    result.worst_final_f1 = quality.curves[ranking[-1]].final_f1
+
+    for rate in noise_rates:
+        run = SessionRunner(
+            dataset,
+            RunnerConfig(
+                num_steps=num_steps,
+                strategy="ve-full",
+                label_noise=rate,
+                seed=seed,
+            ),
+        ).run()
+        result.curves[rate] = NoiseCurve(
+            dataset=dataset.name, noise_rate=rate, f1=tuple(run.f1_series())
+        )
+    return result

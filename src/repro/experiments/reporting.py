@@ -1,0 +1,82 @@
+"""Reporting helpers for the experiment harness.
+
+Every experiment returns rows (dicts) or series; these helpers format them as
+aligned text tables so the benchmark harness can print the same rows the paper
+reports in its tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "summarize_series"]
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    if not rows:
+        return title + "\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        {column: _format_value(row.get(column), precision) for column in columns} for row in rows
+    ]
+    widths = {
+        column: max(len(column), max(len(row[column]) for row in rendered)) for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rendered:
+        lines.append(" | ".join(row[column].ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    step_label: str = "step",
+    precision: int = 3,
+    title: str | None = None,
+    every: int = 1,
+) -> str:
+    """Render one or more equally long numeric series as a step-indexed table."""
+    if not series:
+        return title + "\n(no series)" if title else "(no series)"
+    names = list(series)
+    length = max(len(values) for values in series.values())
+    rows = []
+    for index in range(0, length, max(1, every)):
+        row: dict[str, object] = {step_label: index + 1}
+        for name in names:
+            values = series[name]
+            row[name] = float(values[index]) if index < len(values) else None
+        rows.append(row)
+    return format_table(rows, columns=[step_label, *names], precision=precision, title=title)
+
+
+def summarize_series(values: Iterable[float]) -> dict[str, float]:
+    """Mean / min / max / final summary of one numeric series."""
+    data = [float(v) for v in values]
+    if not data:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0, "final": 0.0}
+    return {
+        "mean": sum(data) / len(data),
+        "min": min(data),
+        "max": max(data),
+        "final": data[-1],
+    }

@@ -1,0 +1,135 @@
+"""Figure 8: Task Scheduler evaluation.
+
+Compares, on Deer, K20, and K20 (skew):
+
+* ``VE-lazy (PP)`` — serial scheduling plus the preprocessing cost of
+  extracting every candidate feature from every video up front.
+* ``VE-lazy (X)`` — serial scheduling with the candidate pool grown
+  incrementally by X in {10, 50, 100} videos.
+* ``VE-partial`` — asynchronous just-in-time training and feature evaluation
+  (the ablation between lazy and full).
+* ``VE-full`` — VE-partial plus eager background feature extraction.
+
+Each variant reports its final model quality and cumulative visible latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets.catalog import build_dataset
+from ..datasets.synthetic import Dataset
+from .reporting import format_table
+from .runner import RunnerConfig, RunResult, SessionRunner
+
+__all__ = ["SchedulerPoint", "SchedulerResult", "run_scheduler_comparison", "DEFAULT_FIG8_DATASETS"]
+
+DEFAULT_FIG8_DATASETS = ("deer", "k20", "k20-skew")
+
+
+@dataclass(frozen=True)
+class SchedulerPoint:
+    """One scheduling variant's quality/latency point."""
+
+    dataset: str
+    variant: str
+    mean_f1: float
+    final_f1: float
+    cumulative_visible_latency: float
+    mean_visible_latency_per_step: float
+
+
+@dataclass
+class SchedulerResult:
+    """All variants for one dataset (one panel of Figure 8)."""
+
+    dataset: str
+    points: list[SchedulerPoint] = field(default_factory=list)
+
+    def rows(self) -> list[dict[str, object]]:
+        return [
+            {
+                "dataset": point.dataset,
+                "variant": point.variant,
+                "mean_f1": point.mean_f1,
+                "final_f1": point.final_f1,
+                "visible_latency_s": point.cumulative_visible_latency,
+                "latency_per_step_s": point.mean_visible_latency_per_step,
+            }
+            for point in self.points
+        ]
+
+    def format(self) -> str:
+        return format_table(self.rows(), title=f"Figure 8 — {self.dataset}")
+
+    def point(self, variant: str) -> SchedulerPoint | None:
+        for candidate in self.points:
+            if candidate.variant == variant:
+                return candidate
+        return None
+
+    def ve_full_is_cheapest(self) -> bool:
+        """True when VE-full has the lowest cumulative visible latency."""
+        full = self.point("ve-full")
+        if full is None:
+            return False
+        return all(
+            full.cumulative_visible_latency <= other.cumulative_visible_latency + 1e-9
+            for other in self.points
+        )
+
+
+def _point(dataset: str, variant: str, run: RunResult) -> SchedulerPoint:
+    steps = max(1, len(run.steps))
+    return SchedulerPoint(
+        dataset=dataset,
+        variant=variant,
+        mean_f1=run.mean_f1(),
+        final_f1=run.final_f1,
+        cumulative_visible_latency=run.cumulative_visible_latency,
+        mean_visible_latency_per_step=run.cumulative_visible_latency / steps,
+    )
+
+
+def run_scheduler_comparison(
+    dataset: Dataset | str,
+    num_steps: int = 30,
+    lazy_pool_sizes: tuple[int, ...] = (10, 50, 100),
+    include_partial: bool = True,
+    seed: int = 0,
+) -> SchedulerResult:
+    """Reproduce one dataset's Figure 8 panel."""
+    dataset = build_dataset(dataset, seed=seed) if isinstance(dataset, str) else dataset
+    result = SchedulerResult(dataset=dataset.name)
+
+    pp_run = SessionRunner(
+        dataset,
+        RunnerConfig(num_steps=num_steps, strategy="serial", preprocess_all=True, seed=seed),
+    ).run()
+    result.points.append(_point(dataset.name, "ve-lazy(PP)", pp_run))
+
+    for pool_size in lazy_pool_sizes:
+        lazy_run = SessionRunner(
+            dataset,
+            RunnerConfig(
+                num_steps=num_steps,
+                strategy="serial",
+                candidate_pool_size=pool_size,
+                seed=seed,
+            ),
+        ).run()
+        result.points.append(_point(dataset.name, f"ve-lazy(X={pool_size})", lazy_run))
+
+    if include_partial:
+        partial_run = SessionRunner(
+            dataset,
+            RunnerConfig(num_steps=num_steps, strategy="ve-partial", seed=seed),
+        ).run()
+        result.points.append(_point(dataset.name, "ve-partial", partial_run))
+
+    full_run = SessionRunner(
+        dataset,
+        RunnerConfig(num_steps=num_steps, strategy="ve-full", seed=seed),
+    ).run()
+    result.points.append(_point(dataset.name, "ve-full", full_run))
+    return result

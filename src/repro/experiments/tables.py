@@ -1,0 +1,50 @@
+"""Tables 2 and 3: dataset statistics and feature-extractor descriptions."""
+
+from __future__ import annotations
+
+from ..datasets.catalog import DATASET_NAMES, build_dataset
+from ..features.pretrained import DEFAULT_EXTRACTOR_NAMES, PRETRAINED_SPECS
+from .reporting import format_table
+
+__all__ = ["dataset_statistics_rows", "feature_extractor_rows", "format_table2", "format_table3"]
+
+
+def dataset_statistics_rows(scale: str = "scaled", seed: int = 0) -> list[dict[str, object]]:
+    """Table 2 rows: class count, skew, and corpus sizes per dataset.
+
+    Both the generated (scaled) corpus sizes and the paper-reported sizes are
+    included so the substitution is explicit.
+    """
+    rows = []
+    for name in DATASET_NAMES:
+        dataset = build_dataset(name, seed=seed, scale=scale)
+        rows.append(dataset.describe())
+    return rows
+
+
+def feature_extractor_rows() -> list[dict[str, object]]:
+    """Table 3 rows: the five candidate extractors and their throughputs."""
+    rows = []
+    for name in DEFAULT_EXTRACTOR_NAMES:
+        spec = PRETRAINED_SPECS[name]
+        rows.append(
+            {
+                "feature": spec.name,
+                "type": spec.input_type,
+                "architecture": spec.architecture,
+                "pretrained": spec.pretrained_on,
+                "dim": spec.dim,
+                "throughput": spec.throughput,
+            }
+        )
+    return rows
+
+
+def format_table2(scale: str = "scaled", seed: int = 0) -> str:
+    """Render Table 2."""
+    return format_table(dataset_statistics_rows(scale=scale, seed=seed), title="Table 2 — Datasets")
+
+
+def format_table3() -> str:
+    """Render Table 3."""
+    return format_table(feature_extractor_rows(), title="Table 3 — Feature extractors")

@@ -1,0 +1,29 @@
+"""Feature subsystem: simulated pretrained extractors, pipeline, Feature Manager."""
+
+from .extractor import ExtractorRegistry, ExtractorSpec, FeatureExtractor
+from .feature_manager import ExtractionReport, FeatureManager
+from .pipeline import FeatureExtractionPipeline, PipelineStats
+from .pretrained import (
+    DEFAULT_EXTRACTOR_NAMES,
+    PRETRAINED_SPECS,
+    ConcatExtractor,
+    SimulatedExtractor,
+    build_default_registry,
+    build_extractor,
+)
+
+__all__ = [
+    "ExtractorSpec",
+    "FeatureExtractor",
+    "ExtractorRegistry",
+    "SimulatedExtractor",
+    "ConcatExtractor",
+    "PRETRAINED_SPECS",
+    "DEFAULT_EXTRACTOR_NAMES",
+    "build_extractor",
+    "build_default_registry",
+    "FeatureExtractionPipeline",
+    "PipelineStats",
+    "FeatureManager",
+    "ExtractionReport",
+]

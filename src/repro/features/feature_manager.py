@@ -1,0 +1,165 @@
+"""Feature Manager (FM).
+
+The FM "returns feature representations of video segments" (paper Section
+2.3).  It owns the decoder, the extractor registry, and the feature store, and
+exposes the two granularities of extraction the system needs:
+
+* per-clip extraction for the clips the user is about to label or watch, and
+* per-video extraction over the feature-window grid, used for active-learning
+  candidate pools and for eager background processing.
+
+Every method returns how much new work it performed so the Task Scheduler can
+charge the corresponding simulated latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..storage.feature_store import FeatureStore
+from ..storage.video_store import VideoStore
+from ..types import ClipSpec, FeatureVector
+from ..video.decoder import Decoder
+from ..video.sampler import ClipSampler
+from .extractor import ExtractorRegistry, FeatureExtractor
+from .pipeline import FeatureExtractionPipeline
+
+__all__ = ["ExtractionReport", "FeatureManager"]
+
+
+@dataclass(frozen=True)
+class ExtractionReport:
+    """How much new extraction work one call performed."""
+
+    extractor: str
+    requested_clips: int
+    extracted_clips: int
+    videos_touched: int
+
+    @property
+    def skipped_clips(self) -> int:
+        return self.requested_clips - self.extracted_clips
+
+
+class FeatureManager:
+    """Extracts, caches, and serves feature vectors."""
+
+    def __init__(
+        self,
+        registry: ExtractorRegistry,
+        decoder: Decoder,
+        video_store: VideoStore,
+        feature_store: FeatureStore | None = None,
+        sampler: ClipSampler | None = None,
+    ) -> None:
+        self.registry = registry
+        self.store = feature_store if feature_store is not None else FeatureStore()
+        self.sampler = sampler if sampler is not None else ClipSampler()
+        self._videos = video_store
+        self._pipeline = FeatureExtractionPipeline(decoder)
+
+    # ---------------------------------------------------------------- plumbing
+    @property
+    def pipeline_stats(self):
+        """Counters of pipelines built and clips processed (for cost accounting)."""
+        return self._pipeline.stats
+
+    def extractor(self, name: str) -> FeatureExtractor:
+        """Return the registered extractor called ``name``."""
+        return self.registry.get(name)
+
+    def extractor_names(self) -> list[str]:
+        """Names of every registered extractor."""
+        return self.registry.names()
+
+    # -------------------------------------------------------------- extraction
+    def ensure_clip_features(self, fid: str, clips: Sequence[ClipSpec]) -> ExtractionReport:
+        """Make sure every clip in ``clips`` has a stored feature for ``fid``.
+
+        A clip is considered covered when the exact clip has a vector or when
+        the video already has a feature window containing the clip midpoint.
+        Missing clips are extracted over the feature window aligned to the
+        clip, matching how the prototype aligns 1-second labels to windows.
+        """
+        extractor = self.registry.get(fid)
+        missing: list[ClipSpec] = []
+        touched_vids: set[int] = set()
+        for clip in clips:
+            if self.store.has(fid, clip):
+                continue
+            if self.store.has_any_for_video(fid, clip.vid):
+                nearest_clip, __ = self.store.get_nearest(fid, clip)
+                if nearest_clip.start <= clip.midpoint <= nearest_clip.end:
+                    continue
+            video = self._videos.get(clip.vid)
+            window = self.sampler.window_containing(
+                video, min(clip.midpoint, max(0.0, video.duration - 1e-6))
+            )
+            missing.append(window)
+            touched_vids.add(clip.vid)
+        extracted = self._extract(extractor, missing)
+        return ExtractionReport(
+            extractor=fid,
+            requested_clips=len(clips),
+            extracted_clips=extracted,
+            videos_touched=len(touched_vids),
+        )
+
+    def ensure_video_features(self, fid: str, vids: Sequence[int]) -> ExtractionReport:
+        """Extract the full feature-window grid for each video in ``vids``.
+
+        Videos that already have any stored window for ``fid`` are skipped, so
+        repeated calls are cheap and incremental (pay-as-you-go).
+        """
+        extractor = self.registry.get(fid)
+        windows: list[ClipSpec] = []
+        touched: set[int] = set()
+        for vid in vids:
+            if self.store.has_any_for_video(fid, vid):
+                continue
+            video = self._videos.get(vid)
+            windows.extend(self.sampler.feature_windows(video))
+            touched.add(vid)
+        extracted = self._extract(extractor, windows)
+        return ExtractionReport(
+            extractor=fid,
+            requested_clips=len(windows),
+            extracted_clips=extracted,
+            videos_touched=len(touched),
+        )
+
+    def extract_all(self, fid: str) -> ExtractionReport:
+        """Preprocess the entire corpus for one extractor (the paper's "PP" baselines)."""
+        return self.ensure_video_features(fid, self._videos.vids())
+
+    def _extract(self, extractor: FeatureExtractor, clips: Sequence[ClipSpec]) -> int:
+        if not clips:
+            return 0
+        features = self._pipeline.run(extractor, clips)
+        return self.store.add_many(features)
+
+    # ------------------------------------------------------------------ access
+    def matrix(self, fid: str, clips: Sequence[ClipSpec]) -> np.ndarray:
+        """Stacked feature matrix for ``clips`` (extracting any that are missing)."""
+        self.ensure_clip_features(fid, clips)
+        return self.store.matrix(fid, clips)
+
+    def candidate_pool(self, fid: str) -> tuple[list[ClipSpec], np.ndarray]:
+        """All stored clips and vectors for ``fid`` (the active-learning candidate set)."""
+        return self.store.all_vectors(fid)
+
+    def vids_with_features(self, fid: str) -> list[int]:
+        """Videos that already have at least one stored window for ``fid``."""
+        return self.store.vids_with_features(fid)
+
+    def feature_vectors_for(self, fid: str, vid: int) -> list[FeatureVector]:
+        """All stored vectors of one video for one extractor."""
+        clips = self.store.clips_for(fid, vid)
+        return [
+            FeatureVector(fid=fid, vid=clip.vid, start=clip.start, end=clip.end,
+                          vector=self.store.get(fid, clip))
+            for clip in clips
+        ]

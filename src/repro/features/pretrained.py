@@ -1,0 +1,255 @@
+"""Simulated pretrained feature extractors.
+
+The paper's prototype uses five pretrained models (Table 3): R3D and MViT
+video models, CLIP and CLIP (Pooled) image models, and a Random baseline with
+MViT's architecture but random weights.  This module provides simulated
+equivalents with the same names, dimensions, input types, and relative
+throughputs.
+
+Each simulated extractor applies a fixed random projection to the clip's
+latent content and mixes in clip-specific distractor noise.  The mixing weight
+(``signal_quality``) is dataset dependent and supplied by the dataset catalog,
+which encodes the per-dataset extractor ranking observed in the paper's
+Figure 4 (e.g. video models beat CLIP on Deer, CLIP variants win on BDD, and
+the Random extractor carries no signal anywhere).
+
+Frame handling differs by extractor exactly as in the paper:
+
+* video models consume the full strided frame sequence and average it,
+* CLIP embeds only the middle frame of each window,
+* CLIP (Pooled) embeds every other frame and max-pools the embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..video.decoder import DecodedClip
+from .extractor import ExtractorRegistry, ExtractorSpec, FeatureExtractor
+
+__all__ = [
+    "SimulatedExtractor",
+    "ConcatExtractor",
+    "PRETRAINED_SPECS",
+    "DEFAULT_EXTRACTOR_NAMES",
+    "build_extractor",
+    "build_default_registry",
+]
+
+#: Specs matching the paper's Table 3 (name, type, architecture, pretraining,
+#: output dimension, throughput in 10-second videos per second).
+PRETRAINED_SPECS: dict[str, ExtractorSpec] = {
+    "r3d": ExtractorSpec(
+        name="r3d",
+        input_type="video",
+        architecture="Conv. net",
+        pretrained_on="Kinetics400",
+        dim=512,
+        throughput=4.03,
+    ),
+    "mvit": ExtractorSpec(
+        name="mvit",
+        input_type="video",
+        architecture="Transformer",
+        pretrained_on="Kinetics400",
+        dim=768,
+        throughput=2.93,
+    ),
+    "clip": ExtractorSpec(
+        name="clip",
+        input_type="image",
+        architecture="Transformer",
+        pretrained_on="Internet images",
+        dim=512,
+        throughput=3.64,
+    ),
+    "clip_pooled": ExtractorSpec(
+        name="clip_pooled",
+        input_type="image",
+        architecture="Transformer",
+        pretrained_on="Internet images",
+        dim=512,
+        throughput=3.45,
+    ),
+    "random": ExtractorSpec(
+        name="random",
+        input_type="video",
+        architecture="Transformer",
+        pretrained_on="None",
+        dim=768,
+        throughput=2.96,
+    ),
+}
+
+#: Registration order used throughout the evaluation.
+DEFAULT_EXTRACTOR_NAMES: tuple[str, ...] = ("r3d", "mvit", "clip", "clip_pooled", "random")
+
+#: Frame-pooling behaviour per extractor (see module docstring).
+_POOLING_BY_NAME = {
+    "r3d": "mean",
+    "mvit": "mean",
+    "clip": "middle",
+    "clip_pooled": "max_every_other",
+    "random": "mean",
+}
+
+
+class SimulatedExtractor(FeatureExtractor):
+    """A pretrained extractor simulated as a noisy projection of clip content."""
+
+    def __init__(
+        self,
+        spec: ExtractorSpec,
+        latent_dim: int,
+        signal_quality: float,
+        pooling: str = "mean",
+        seed: int = 0,
+    ) -> None:
+        """Create one simulated extractor.
+
+        Args:
+            spec: Static extractor description (name, dim, throughput, ...).
+            latent_dim: Dimensionality of the corpus latent space.
+            signal_quality: Fraction of the output explained by clip content;
+                0 reproduces the paper's Random extractor, values near 1 give a
+                nearly noiseless embedding of the activity mixture.
+            pooling: How frames are combined: "mean", "middle", or
+                "max_every_other".
+            seed: Seed for the fixed projection matrices.
+        """
+        super().__init__(spec)
+        if not 0.0 <= signal_quality <= 1.0:
+            raise ValueError(f"signal_quality must be in [0, 1], got {signal_quality}")
+        if pooling not in ("mean", "middle", "max_every_other"):
+            raise ValueError(f"unknown pooling {pooling!r}")
+        self.signal_quality = float(signal_quality)
+        self.pooling = pooling
+        self.latent_dim = int(latent_dim)
+
+        rng = np.random.default_rng((seed, hash(spec.name) & 0xFFFF))
+        projection = rng.standard_normal((self.latent_dim, spec.dim)) / np.sqrt(self.latent_dim)
+        self._projection = projection
+        # Distractor directions: clip-specific noise is injected through a
+        # separate fixed basis so it is structured (not white) but carries no
+        # class information.
+        self._distractor_basis = rng.standard_normal((self.latent_dim, spec.dim)) / np.sqrt(
+            self.latent_dim
+        )
+        self._noise_seed = int(rng.integers(0, 2**31 - 1))
+
+    def _pool_frames(self, decoded: DecodedClip) -> np.ndarray:
+        frames = decoded.frames
+        if self.pooling == "middle":
+            return decoded.middle_frame()
+        if self.pooling == "max_every_other":
+            projected = decoded.strided_frames(2) @ self._projection
+            return None if projected.size == 0 else projected  # handled by caller
+        return frames.mean(axis=0)
+
+    def _clip_noise(self, decoded: DecodedClip) -> np.ndarray:
+        clip = decoded.clip
+        rng = np.random.default_rng(
+            (self._noise_seed, clip.vid, int(round(clip.start * 1000)), int(round(clip.end * 1000)))
+        )
+        latent_noise = rng.standard_normal(self.latent_dim)
+        return latent_noise @ self._distractor_basis
+
+    @staticmethod
+    def _unit(vector: np.ndarray) -> np.ndarray:
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm > 0 else vector
+
+    def extract(self, decoded: DecodedClip) -> np.ndarray:
+        """Embed one decoded clip.
+
+        The clip-content signal and the clip-specific distractor noise are
+        normalised to unit length before mixing, so ``signal_quality`` reads
+        directly as the fraction of the embedding's energy that carries class
+        information.
+        """
+        if self.pooling == "max_every_other":
+            projected_frames = decoded.strided_frames(2) @ self._projection
+            signal = projected_frames.max(axis=0)
+        else:
+            pooled = self._pool_frames(decoded)
+            signal = pooled @ self._projection
+        signal = self._unit(signal)
+        noise = self._unit(self._clip_noise(decoded))
+        q = self.signal_quality
+        embedding = q * signal + (1.0 - q) * noise
+        norm = np.linalg.norm(embedding)
+        if norm > 0:
+            embedding = embedding / norm * np.sqrt(self.dim)
+        return embedding.astype(np.float64)
+
+
+class ConcatExtractor(FeatureExtractor):
+    """Concatenation of several extractors (the paper's "Concat" baseline)."""
+
+    def __init__(self, extractors: Sequence[FeatureExtractor], name: str = "concat") -> None:
+        if not extractors:
+            raise ValueError("ConcatExtractor needs at least one extractor")
+        total_dim = sum(extractor.dim for extractor in extractors)
+        throughput = 1.0 / sum(1.0 / extractor.spec.throughput for extractor in extractors)
+        spec = ExtractorSpec(
+            name=name,
+            input_type="video",
+            architecture="Concatenation",
+            pretrained_on="Mixed",
+            dim=total_dim,
+            throughput=throughput,
+        )
+        super().__init__(spec)
+        self._extractors = list(extractors)
+
+    @property
+    def components(self) -> list[FeatureExtractor]:
+        return list(self._extractors)
+
+    def extract(self, decoded: DecodedClip) -> np.ndarray:
+        return np.concatenate([extractor.extract(decoded) for extractor in self._extractors])
+
+
+def build_extractor(
+    name: str,
+    latent_dim: int,
+    signal_quality: float,
+    seed: int = 0,
+) -> SimulatedExtractor:
+    """Build one simulated extractor by Table 3 name."""
+    if name not in PRETRAINED_SPECS:
+        raise ValueError(f"unknown pretrained extractor {name!r}; known: {sorted(PRETRAINED_SPECS)}")
+    return SimulatedExtractor(
+        spec=PRETRAINED_SPECS[name],
+        latent_dim=latent_dim,
+        signal_quality=signal_quality,
+        pooling=_POOLING_BY_NAME[name],
+        seed=seed,
+    )
+
+
+def build_default_registry(
+    latent_dim: int,
+    quality_by_extractor: Mapping[str, float],
+    seed: int = 0,
+    include_concat: bool = False,
+) -> ExtractorRegistry:
+    """Build the paper's five-extractor candidate pool (optionally plus Concat).
+
+    Args:
+        latent_dim: Dimensionality of the corpus latent space.
+        quality_by_extractor: Per-extractor signal quality for the target
+            dataset; missing names default to 0.5, and "random" is forced to 0.
+        seed: Seed for all projection matrices.
+        include_concat: Also register a concatenation of the five extractors.
+    """
+    extractors: list[FeatureExtractor] = []
+    for name in DEFAULT_EXTRACTOR_NAMES:
+        quality = 0.0 if name == "random" else float(quality_by_extractor.get(name, 0.5))
+        extractors.append(build_extractor(name, latent_dim, quality, seed=seed))
+    registry = ExtractorRegistry(extractors)
+    if include_concat:
+        registry.register(ConcatExtractor(extractors))
+    return registry

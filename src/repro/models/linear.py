@@ -1,0 +1,192 @@
+"""Multinomial softmax regression (the paper's linear probe).
+
+The prototype trains "linear models" on top of frozen pretrained features.
+This implementation is a standard L2-regularised softmax regression trained
+with L-BFGS (scipy).  It supports a fixed vocabulary that can be larger than
+the set of classes observed in the training labels, matching the paper's setup
+of initialising the model with the full evaluation vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..exceptions import InsufficientLabelsError, NotFittedError
+
+__all__ = ["SoftmaxRegression"]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class SoftmaxRegression:
+    """L2-regularised multinomial logistic regression."""
+
+    def __init__(
+        self,
+        classes: Sequence[str],
+        l2_regularization: float = 1e-2,
+        max_iterations: int = 200,
+        tolerance: float = 1e-6,
+    ) -> None:
+        """Create an untrained model over a fixed class vocabulary.
+
+        Args:
+            classes: Full label vocabulary; predictions cover every class even
+                when some have no training labels yet.
+            l2_regularization: Strength of the L2 penalty on the weights.
+            max_iterations: Maximum L-BFGS iterations.
+            tolerance: L-BFGS convergence tolerance.
+        """
+        if not classes:
+            raise InsufficientLabelsError("a model needs at least one class")
+        self.classes = list(dict.fromkeys(classes))
+        self.l2_regularization = float(l2_regularization)
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self._class_index = {name: i for i, name in enumerate(self.classes)}
+        self._weights: np.ndarray | None = None
+        self._bias: np.ndarray | None = None
+        self._feature_mean: np.ndarray | None = None
+        self._feature_scale: np.ndarray | None = None
+
+    # ---------------------------------------------------------------- training
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    def encode_labels(self, labels: Sequence[str]) -> np.ndarray:
+        """Map label names to class indices.
+
+        Raises:
+            InsufficientLabelsError: when a label is outside the vocabulary.
+        """
+        indices = []
+        for label in labels:
+            if label not in self._class_index:
+                raise InsufficientLabelsError(
+                    f"label {label!r} is not in the model vocabulary {self.classes}"
+                )
+            indices.append(self._class_index[label])
+        return np.asarray(indices, dtype=np.int64)
+
+    def fit(self, features: np.ndarray, labels: Sequence[str]) -> "SoftmaxRegression":
+        """Train on a feature matrix and parallel list of label names."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise InsufficientLabelsError(f"features must be 2-D, got shape {features.shape}")
+        if len(labels) != features.shape[0]:
+            raise InsufficientLabelsError(
+                f"{features.shape[0]} feature rows but {len(labels)} labels"
+            )
+        if features.shape[0] == 0:
+            raise InsufficientLabelsError("cannot train on zero examples")
+        targets = self.encode_labels(labels)
+
+        # Standardise features; keeps L-BFGS well conditioned across extractors.
+        self._feature_mean = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self._feature_scale = scale
+        standardized = (features - self._feature_mean) / self._feature_scale
+
+        n, d = standardized.shape
+        k = self.num_classes
+        one_hot = np.zeros((n, k))
+        one_hot[np.arange(n), targets] = 1.0
+        reg = self.l2_regularization
+
+        def objective(flat: np.ndarray) -> tuple[float, np.ndarray]:
+            weights = flat[: d * k].reshape(d, k)
+            bias = flat[d * k :]
+            logits = standardized @ weights + bias
+            probs = _softmax(logits)
+            # Cross-entropy averaged over examples plus L2 on the weights.
+            log_probs = np.log(np.clip(probs, 1e-12, None))
+            loss = -np.sum(one_hot * log_probs) / n + 0.5 * reg * np.sum(weights**2)
+            grad_logits = (probs - one_hot) / n
+            grad_weights = standardized.T @ grad_logits + reg * weights
+            grad_bias = grad_logits.sum(axis=0)
+            return loss, np.concatenate([grad_weights.ravel(), grad_bias])
+
+        initial = np.zeros(d * k + k)
+        result = minimize(
+            objective,
+            initial,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iterations, "ftol": self.tolerance},
+        )
+        flat = result.x
+        self._weights = flat[: d * k].reshape(d, k)
+        self._bias = flat[d * k :]
+        return self
+
+    # --------------------------------------------------------------- inference
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class-probability matrix of shape (n, num_classes)."""
+        if not self.is_fitted:
+            raise NotFittedError("model has not been trained")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        standardized = (features - self._feature_mean) / self._feature_scale
+        logits = standardized @ self._weights + self._bias
+        return _softmax(logits)
+
+    def predict(self, features: np.ndarray) -> list[str]:
+        """Most likely class name for each feature row."""
+        probabilities = self.predict_proba(features)
+        indices = probabilities.argmax(axis=1)
+        return [self.classes[int(i)] for i in indices]
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """Raw (pre-softmax) scores; useful for margin-based acquisition."""
+        if not self.is_fitted:
+            raise NotFittedError("model has not been trained")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        standardized = (features - self._feature_mean) / self._feature_scale
+        return standardized @ self._weights + self._bias
+
+    # ------------------------------------------------------------- persistence
+    def get_parameters(self) -> np.ndarray:
+        """Flattened parameter vector (weights then bias) for checkpointing."""
+        if not self.is_fitted:
+            raise NotFittedError("model has not been trained")
+        return np.concatenate(
+            [
+                self._weights.ravel(),
+                self._bias,
+                self._feature_mean,
+                self._feature_scale,
+            ]
+        )
+
+    def set_parameters(self, flat: np.ndarray, feature_dim: int) -> None:
+        """Restore parameters produced by :meth:`get_parameters`."""
+        k = self.num_classes
+        d = feature_dim
+        expected = d * k + k + d + d
+        if flat.shape[0] != expected:
+            raise NotFittedError(
+                f"parameter vector has length {flat.shape[0]}, expected {expected}"
+            )
+        cursor = d * k
+        self._weights = flat[:cursor].reshape(d, k)
+        self._bias = flat[cursor : cursor + k]
+        cursor += k
+        self._feature_mean = flat[cursor : cursor + d]
+        cursor += d
+        self._feature_scale = flat[cursor : cursor + d]

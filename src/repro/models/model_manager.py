@@ -1,0 +1,214 @@
+"""Model Manager (MM).
+
+The MM "trains models using the user-specified labels and performs inference
+on these models to return predictions" (paper Section 2.3).  It maintains one
+model per candidate feature extractor and always serves predictions from the
+most recently *completed* model, so training can be scheduled asynchronously
+by the Task Scheduler without blocking Explore calls.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..exceptions import InsufficientLabelsError, ModelError
+from ..features.feature_manager import FeatureManager
+from ..storage.label_store import LabelStore
+from ..storage.model_registry import ModelRegistry
+from ..types import ClipSpec, Prediction, TrainedModelInfo
+from .linear import SoftmaxRegression
+from .metrics import macro_f1
+from .validation import CrossValidationResult, cross_validate_macro_f1
+
+__all__ = ["ModelManager"]
+
+
+class ModelManager:
+    """Trains and serves one linear probe per feature extractor."""
+
+    def __init__(
+        self,
+        feature_manager: FeatureManager,
+        label_store: LabelStore,
+        registry: ModelRegistry,
+        vocabulary: Sequence[str],
+        config: ModelConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        """Create the manager.
+
+        Args:
+            feature_manager: Source of feature matrices for labeled clips.
+            label_store: Source of the labels collected so far.
+            registry: Destination for trained model checkpoints.
+            vocabulary: Full label vocabulary used for every trained model.
+            config: Linear-probe hyperparameters.
+            seed: Seed for cross-validation splits.
+        """
+        if not vocabulary:
+            raise ModelError("the model manager needs a non-empty vocabulary")
+        self.feature_manager = feature_manager
+        self.labels = label_store
+        self.registry = registry
+        self.vocabulary = list(dict.fromkeys(vocabulary))
+        self.config = config if config is not None else ModelConfig()
+        self._rng = np.random.default_rng(seed)
+
+    # ----------------------------------------------------------- training data
+    def training_examples(self, label_limit: int | None = None) -> tuple[list[ClipSpec], list[str]]:
+        """Return (clips, label names) for the stored labels.
+
+        Args:
+            label_limit: When set, only the first ``label_limit`` labels are
+                returned.  The Task Scheduler uses this to train just-in-time
+                models on the labels that had arrived when training started.
+        """
+        stored = self.labels.all()
+        if label_limit is not None:
+            stored = stored[: max(0, label_limit)]
+        clips = [label.clip for label in stored]
+        names = [label.label for label in stored]
+        return clips, names
+
+    def can_train(self) -> bool:
+        """True when the collected labels span at least two classes."""
+        counts = self.labels.class_counts()
+        return len(counts) >= 2 and sum(counts.values()) >= 2
+
+    # ------------------------------------------------------------------ training
+    def train(
+        self,
+        feature_name: str,
+        at_time: float = 0.0,
+        label_limit: int | None = None,
+    ) -> TrainedModelInfo:
+        """Train a new model for ``feature_name``.
+
+        Args:
+            feature_name: Feature extractor whose stored vectors to train on.
+            at_time: Simulated timestamp recorded on the registered model.
+            label_limit: Train only on the first ``label_limit`` labels
+                (just-in-time training); None uses every collected label.
+
+        Raises:
+            InsufficientLabelsError: when fewer than two classes are labeled.
+        """
+        clips, names = self.training_examples(label_limit)
+        if len(set(names)) < 2:
+            raise InsufficientLabelsError(
+                "training requires labels from at least two classes"
+            )
+        features = self.feature_manager.matrix(feature_name, clips)
+        model = SoftmaxRegression(
+            classes=self.vocabulary,
+            l2_regularization=self.config.l2_regularization,
+            max_iterations=self.config.max_iterations,
+            tolerance=self.config.tolerance,
+        )
+        model.fit(features, names)
+        return self.registry.register(
+            feature_name=feature_name,
+            model=model,
+            classes=self.vocabulary,
+            num_labels=len(names),
+            created_at=at_time,
+        )
+
+    def train_if_possible(
+        self,
+        feature_name: str,
+        at_time: float = 0.0,
+        label_limit: int | None = None,
+    ) -> TrainedModelInfo | None:
+        """Train when enough labels exist; otherwise return None."""
+        __, names = self.training_examples(label_limit)
+        if len(set(names)) < 2 or len(names) < 2:
+            return None
+        return self.train(feature_name, at_time=at_time, label_limit=label_limit)
+
+    # ----------------------------------------------------------------- serving
+    def has_model(self, feature_name: str) -> bool:
+        """True when at least one trained model exists for ``feature_name``."""
+        return self.registry.latest(feature_name) is not None
+
+    def latest_model(self, feature_name: str) -> tuple[SoftmaxRegression, TrainedModelInfo]:
+        """The most recent trained model for ``feature_name``.
+
+        Raises:
+            ModelError: when no model has been trained yet.
+        """
+        entry = self.registry.latest(feature_name)
+        if entry is None:
+            raise ModelError(f"no trained model for feature {feature_name!r}")
+        return entry
+
+    def predict_matrix(self, feature_name: str, features: np.ndarray) -> np.ndarray:
+        """Class-probability matrix for pre-extracted feature rows."""
+        model, __ = self.latest_model(feature_name)
+        return model.predict_proba(features)
+
+    def predict_clips(self, feature_name: str, clips: Sequence[ClipSpec]) -> list[Prediction]:
+        """Predictions for clips, extracting their features if necessary."""
+        if not clips:
+            return []
+        model, info = self.latest_model(feature_name)
+        features = self.feature_manager.matrix(feature_name, clips)
+        probabilities = model.predict_proba(features)
+        predictions = []
+        for clip, row in zip(clips, probabilities):
+            predictions.append(
+                Prediction(
+                    vid=clip.vid,
+                    start=clip.start,
+                    end=clip.end,
+                    probabilities={name: float(p) for name, p in zip(model.classes, row)},
+                    feature_name=feature_name,
+                    model_version=info.version,
+                )
+            )
+        return predictions
+
+    # -------------------------------------------------------------- evaluation
+    def evaluate(
+        self,
+        feature_name: str,
+        eval_clips: Sequence[ClipSpec],
+        eval_labels: Sequence[str],
+    ) -> float:
+        """Macro F1 of the latest model on a held-out evaluation set."""
+        if len(eval_clips) != len(eval_labels):
+            raise ModelError("eval_clips and eval_labels must have the same length")
+        if not eval_clips:
+            return 0.0
+        model, __ = self.latest_model(feature_name)
+        features = self.feature_manager.matrix(feature_name, list(eval_clips))
+        predictions = model.predict(features)
+        return macro_f1(list(eval_labels), predictions, self.vocabulary)
+
+    def cross_validate(
+        self,
+        feature_name: str,
+        num_folds: int = 3,
+        min_labels_per_class: int = 3,
+    ) -> CrossValidationResult:
+        """k-fold macro-F1 estimate on the labels collected so far.
+
+        This is the feature-evaluation task (T_e) used by the rising-bandit
+        feature selector before a labeled validation set exists.
+        """
+        clips, names = self.training_examples()
+        if not clips:
+            raise InsufficientLabelsError("no labels collected yet")
+        features = self.feature_manager.matrix(feature_name, clips)
+        return cross_validate_macro_f1(
+            features,
+            names,
+            num_folds=num_folds,
+            min_labels_per_class=min_labels_per_class,
+            l2_regularization=self.config.l2_regularization,
+            max_iterations=self.config.max_iterations,
+            rng=self._rng,
+        )

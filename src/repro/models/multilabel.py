@@ -1,0 +1,188 @@
+"""One-vs-rest multi-label classifier.
+
+The Charades and BDD tasks allow one clip to carry several labels.  The paper
+still trains linear probes; the multi-label variant trains one binary logistic
+regression per class on the same frozen features.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..exceptions import InsufficientLabelsError, NotFittedError
+
+__all__ = ["BinaryLogisticRegression", "OneVsRestClassifier"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class BinaryLogisticRegression:
+    """L2-regularised binary logistic regression trained with L-BFGS."""
+
+    def __init__(
+        self,
+        l2_regularization: float = 1e-2,
+        max_iterations: int = 200,
+        tolerance: float = 1e-6,
+    ) -> None:
+        self.l2_regularization = float(l2_regularization)
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self._weights: np.ndarray | None = None
+        self._bias: float = 0.0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "BinaryLogisticRegression":
+        """Train on a feature matrix and a {0, 1} target vector."""
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.shape[0] != targets.shape[0]:
+            raise InsufficientLabelsError("features and targets must have the same length")
+        if features.shape[0] == 0:
+            raise InsufficientLabelsError("cannot train on zero examples")
+        n, d = features.shape
+        reg = self.l2_regularization
+
+        def objective(flat: np.ndarray) -> tuple[float, np.ndarray]:
+            weights = flat[:d]
+            bias = flat[d]
+            logits = features @ weights + bias
+            probs = _sigmoid(logits)
+            eps = 1e-12
+            loss = (
+                -np.mean(targets * np.log(probs + eps) + (1 - targets) * np.log(1 - probs + eps))
+                + 0.5 * reg * np.sum(weights**2)
+            )
+            grad_logits = (probs - targets) / n
+            grad_weights = features.T @ grad_logits + reg * weights
+            grad_bias = grad_logits.sum()
+            return loss, np.concatenate([grad_weights, [grad_bias]])
+
+        result = minimize(
+            objective,
+            np.zeros(d + 1),
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iterations, "ftol": self.tolerance},
+        )
+        self._weights = result.x[:d]
+        self._bias = float(result.x[d])
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row."""
+        if not self.is_fitted:
+            raise NotFittedError("binary model has not been trained")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        return _sigmoid(features @ self._weights + self._bias)
+
+
+class OneVsRestClassifier:
+    """Multi-label classifier: one binary logistic regression per class."""
+
+    def __init__(
+        self,
+        classes: Sequence[str],
+        l2_regularization: float = 1e-2,
+        max_iterations: int = 200,
+        tolerance: float = 1e-6,
+    ) -> None:
+        if not classes:
+            raise InsufficientLabelsError("a model needs at least one class")
+        self.classes = list(dict.fromkeys(classes))
+        self.l2_regularization = float(l2_regularization)
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self._models: dict[str, BinaryLogisticRegression | None] = {
+            name: None for name in self.classes
+        }
+        self._feature_mean: np.ndarray | None = None
+        self._feature_scale: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._feature_mean is not None
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    def fit(self, features: np.ndarray, label_sets: Sequence[Sequence[str]]) -> "OneVsRestClassifier":
+        """Train on a feature matrix and a per-row collection of label names."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[0] != len(label_sets):
+            raise InsufficientLabelsError("features and label_sets must have the same length")
+        if features.shape[0] == 0:
+            raise InsufficientLabelsError("cannot train on zero examples")
+
+        self._feature_mean = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self._feature_scale = scale
+        standardized = (features - self._feature_mean) / self._feature_scale
+
+        for class_name in self.classes:
+            targets = np.array(
+                [1.0 if class_name in labels else 0.0 for labels in label_sets]
+            )
+            if targets.sum() == 0 or targets.sum() == len(targets):
+                # Single-class columns cannot be trained; leave the head empty so
+                # predict_proba falls back to the observed base rate.
+                self._models[class_name] = None
+                continue
+            model = BinaryLogisticRegression(
+                self.l2_regularization, self.max_iterations, self.tolerance
+            )
+            model.fit(standardized, targets)
+            self._models[class_name] = model
+        self._base_rates = {
+            class_name: float(
+                np.mean([1.0 if class_name in labels else 0.0 for labels in label_sets])
+            )
+            for class_name in self.classes
+        }
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Per-class positive probabilities, shape (n, num_classes)."""
+        if not self.is_fitted:
+            raise NotFittedError("model has not been trained")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        standardized = (features - self._feature_mean) / self._feature_scale
+        columns = []
+        for class_name in self.classes:
+            model = self._models[class_name]
+            if model is None:
+                rate = self._base_rates.get(class_name, 0.0)
+                columns.append(np.full(standardized.shape[0], rate))
+            else:
+                columns.append(model.predict_proba(standardized))
+        return np.column_stack(columns)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> list[list[str]]:
+        """Predicted label set for each row (classes whose probability exceeds the threshold)."""
+        probabilities = self.predict_proba(features)
+        results = []
+        for row in probabilities:
+            chosen = [self.classes[i] for i in np.flatnonzero(row >= threshold)]
+            if not chosen:
+                chosen = [self.classes[int(row.argmax())]]
+            results.append(chosen)
+        return results

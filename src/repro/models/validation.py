@@ -1,0 +1,130 @@
+"""Cross-validation utilities.
+
+The Active Learning Manager estimates per-feature model quality with 3-fold
+cross-validation over the labels collected so far, restricted to classes with
+at least three labeled instances so every fold contains every class
+(Section 3.2.4 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InsufficientLabelsError
+from .linear import SoftmaxRegression
+from .metrics import macro_f1
+
+__all__ = ["CrossValidationResult", "stratified_folds", "cross_validate_macro_f1"]
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """Outcome of one cross-validation estimate."""
+
+    mean_f1: float
+    fold_scores: tuple[float, ...]
+    classes_evaluated: tuple[str, ...]
+    num_examples: int
+
+
+def stratified_folds(
+    labels: Sequence[str],
+    num_folds: int,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Split example indices into ``num_folds`` folds, stratified by class.
+
+    Each class's examples are shuffled and dealt round-robin into folds, so
+    every fold receives roughly the same class mixture.
+    """
+    if num_folds < 2:
+        raise InsufficientLabelsError(f"need at least 2 folds, got {num_folds}")
+    indices_by_class: dict[str, list[int]] = defaultdict(list)
+    for index, label in enumerate(labels):
+        indices_by_class[label].append(index)
+
+    folds: list[list[int]] = [[] for __ in range(num_folds)]
+    for class_indices in indices_by_class.values():
+        shuffled = list(class_indices)
+        rng.shuffle(shuffled)
+        for position, example in enumerate(shuffled):
+            folds[position % num_folds].append(example)
+    return [np.asarray(sorted(fold), dtype=np.int64) for fold in folds]
+
+
+def cross_validate_macro_f1(
+    features: np.ndarray,
+    labels: Sequence[str],
+    num_folds: int = 3,
+    min_labels_per_class: int = 3,
+    l2_regularization: float = 1e-2,
+    max_iterations: int = 200,
+    rng: np.random.Generator | None = None,
+) -> CrossValidationResult:
+    """Estimate macro F1 by k-fold cross-validation on the labeled set.
+
+    Classes with fewer than ``min_labels_per_class`` examples are excluded so
+    each fold's train and test splits contain every evaluated class.
+
+    Raises:
+        InsufficientLabelsError: when fewer than two classes survive the
+            minimum-count filter or there are too few examples to form folds.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    features = np.asarray(features, dtype=np.float64)
+    labels = list(labels)
+    if features.shape[0] != len(labels):
+        raise InsufficientLabelsError("features and labels must have the same length")
+
+    counts: dict[str, int] = defaultdict(int)
+    for label in labels:
+        counts[label] += 1
+    eligible_classes = sorted(name for name, count in counts.items() if count >= min_labels_per_class)
+    if len(eligible_classes) < 2:
+        raise InsufficientLabelsError(
+            f"need at least 2 classes with >= {min_labels_per_class} labels; "
+            f"have {len(eligible_classes)}"
+        )
+
+    keep = [i for i, label in enumerate(labels) if label in eligible_classes]
+    if len(keep) < num_folds:
+        raise InsufficientLabelsError(
+            f"need at least {num_folds} eligible examples, have {len(keep)}"
+        )
+    kept_features = features[keep]
+    kept_labels = [labels[i] for i in keep]
+
+    folds = stratified_folds(kept_labels, num_folds, rng)
+    scores: list[float] = []
+    for fold in folds:
+        test_mask = np.zeros(len(kept_labels), dtype=bool)
+        test_mask[fold] = True
+        train_indices = np.flatnonzero(~test_mask)
+        test_indices = np.flatnonzero(test_mask)
+        if len(train_indices) == 0 or len(test_indices) == 0:
+            continue
+        train_labels = [kept_labels[i] for i in train_indices]
+        if len(set(train_labels)) < 2:
+            continue
+        model = SoftmaxRegression(
+            classes=eligible_classes,
+            l2_regularization=l2_regularization,
+            max_iterations=max_iterations,
+        )
+        model.fit(kept_features[train_indices], train_labels)
+        predictions = model.predict(kept_features[test_indices])
+        truth = [kept_labels[i] for i in test_indices]
+        scores.append(macro_f1(truth, predictions, eligible_classes))
+
+    if not scores:
+        raise InsufficientLabelsError("cross-validation produced no usable folds")
+    return CrossValidationResult(
+        mean_f1=float(np.mean(scores)),
+        fold_scores=tuple(scores),
+        classes_evaluated=tuple(eligible_classes),
+        num_examples=len(keep),
+    )

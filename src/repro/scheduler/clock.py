@@ -1,0 +1,42 @@
+"""Simulated clock.
+
+All latency in this reproduction is accounted against a discrete-event
+simulated clock rather than wall-clock time: the paper's latency experiments
+compare *schedules* under a fixed cost model (user labeling time, extractor
+throughput, training time), which a simulated clock reproduces deterministically
+on any hardware.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import SchedulerError
+
+__all__ = ["SimulatedClock"]
+
+
+class SimulatedClock:
+    """Monotonically increasing simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise SchedulerError(f"cannot advance the clock by a negative amount ({seconds})")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to ``timestamp`` (no-op when already past it)."""
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now:.3f})"

@@ -1,0 +1,219 @@
+"""Priority Task Scheduler.
+
+The scheduler owns a single (simulated) compute resource.  Foreground tasks —
+the work that must finish before ``Explore`` can return — run immediately and
+add to user-visible latency.  Background tasks are queued with priorities and
+executed during the window in which the user is busy labeling; tasks that do
+not finish within a window keep their remaining work and resume in the next
+window, which is how a long model-training task becomes ready only several
+iterations later (the staleness effect the paper calls delta).
+
+The VE-full strategy additionally installs an *idle-task factory*: whenever
+the background queue is empty and window time remains, the scheduler asks the
+factory for a new lowest-priority task (eager feature extraction over a batch
+of unlabeled videos).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..exceptions import SchedulerError
+from .clock import SimulatedClock
+from .tasks import CompletedTask, Task
+
+__all__ = ["IterationLatency", "TaskScheduler"]
+
+
+@dataclass
+class IterationLatency:
+    """Latency accounting for one Explore iteration."""
+
+    iteration: int
+    visible_latency: float = 0.0
+    background_time_used: float = 0.0
+    background_idle_time: float = 0.0
+    visible_by_kind: dict[str, float] = field(default_factory=dict)
+
+    def add_visible(self, kind: str, duration: float) -> None:
+        self.visible_latency += duration
+        self.visible_by_kind[kind] = self.visible_by_kind.get(kind, 0.0) + duration
+
+
+class TaskScheduler:
+    """Single-resource priority scheduler over a simulated clock."""
+
+    def __init__(self, clock: SimulatedClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimulatedClock()
+        self._queue: list[tuple[int, int, Task]] = []
+        self._completed: list[CompletedTask] = []
+        self._iterations: list[IterationLatency] = []
+        self._current: IterationLatency | None = None
+        self.idle_task_factory: Callable[[], Task | None] | None = None
+
+    # ------------------------------------------------------------- iterations
+    def begin_iteration(self, iteration: int) -> IterationLatency:
+        """Start latency accounting for one Explore iteration."""
+        self._current = IterationLatency(iteration=iteration)
+        self._iterations.append(self._current)
+        return self._current
+
+    @property
+    def current_iteration(self) -> IterationLatency:
+        if self._current is None:
+            raise SchedulerError("begin_iteration() has not been called")
+        return self._current
+
+    def iteration_records(self) -> list[IterationLatency]:
+        """Latency accounting for every iteration so far."""
+        return list(self._iterations)
+
+    def cumulative_visible_latency(self) -> float:
+        """Total user-visible latency across all iterations."""
+        return sum(record.visible_latency for record in self._iterations)
+
+    def completed_tasks(self) -> list[CompletedTask]:
+        """Every completed task in completion order."""
+        return list(self._completed)
+
+    # ------------------------------------------------------------- foreground
+    def run_foreground(self, task: Task) -> CompletedTask:
+        """Run a task synchronously; its duration becomes visible latency."""
+        task.work(task.remaining)
+        self.clock.advance(task.duration)
+        record = task.complete(self.clock.now)
+        self._completed.append(record)
+        if self._current is not None:
+            self._current.add_visible(task.kind, task.duration)
+        return record
+
+    # ------------------------------------------------------------- background
+    def submit(self, task: Task, available_at: float | None = None) -> None:
+        """Queue a background task (optionally only available from a given time)."""
+        if available_at is not None:
+            task.available_at = float(available_at)
+        heapq.heappush(self._queue, (task.priority, task.task_id, task))
+
+    def pending_count(self) -> int:
+        """Number of queued background tasks."""
+        return len(self._queue)
+
+    def has_pending(self, kind: str | None = None) -> bool:
+        """True when background tasks (optionally of one kind) are still queued."""
+        if kind is None:
+            return bool(self._queue)
+        return any(task.kind == kind for __, __, task in self._queue)
+
+    def _pop_available(self, now: float) -> Task | None:
+        """Pop the highest-priority task whose availability time has passed."""
+        deferred: list[tuple[int, int, Task]] = []
+        chosen: Task | None = None
+        while self._queue:
+            priority, task_id, task = heapq.heappop(self._queue)
+            if task.available_at <= now + 1e-9:
+                chosen = task
+                break
+            deferred.append((priority, task_id, task))
+        for entry in deferred:
+            heapq.heappush(self._queue, entry)
+        return chosen
+
+    def _next_available_time(self) -> float | None:
+        if not self._queue:
+            return None
+        return min(task.available_at for __, __, task in self._queue)
+
+    def run_background_window(self, duration: float) -> list[CompletedTask]:
+        """Execute queued background work for ``duration`` simulated seconds.
+
+        The window models the time the user spends labeling (B x T_user).
+        Unfinished tasks keep their remaining work for future windows.  When
+        the queue is empty and an idle-task factory is installed, the factory
+        supplies additional lowest-priority work (eager feature extraction).
+        """
+        if duration < 0:
+            raise SchedulerError(f"window duration must be >= 0, got {duration}")
+        window_start = self.clock.now
+        window_end = window_start + duration
+        completed: list[CompletedTask] = []
+
+        while self.clock.now < window_end - 1e-9:
+            task = self._pop_available(self.clock.now)
+            if task is None:
+                next_time = self._next_available_time()
+                if next_time is not None and next_time < window_end:
+                    # Idle until the next deferred task becomes available.
+                    idle = next_time - self.clock.now
+                    if self.idle_task_factory is not None:
+                        task = self.idle_task_factory()
+                        if task is None:
+                            self._record_idle(idle)
+                            self.clock.advance_to(next_time)
+                            continue
+                    else:
+                        self._record_idle(idle)
+                        self.clock.advance_to(next_time)
+                        continue
+                else:
+                    if self.idle_task_factory is not None:
+                        task = self.idle_task_factory()
+                    if task is None:
+                        self._record_idle(window_end - self.clock.now)
+                        break
+
+            available = window_end - self.clock.now
+            used = task.work(available)
+            self.clock.advance(used)
+            self._record_background(used)
+            if task.finished:
+                record = task.complete(self.clock.now)
+                self._completed.append(record)
+                completed.append(record)
+            else:
+                # Out of window time: requeue with remaining work preserved.
+                heapq.heappush(self._queue, (task.priority, task.task_id, task))
+                break
+
+        self.clock.advance_to(window_end)
+        return completed
+
+    def drain(self, time_limit: float | None = None) -> list[CompletedTask]:
+        """Run all queued background work to completion (or until ``time_limit`` seconds).
+
+        Used by the serial strategy, which finishes every task before
+        returning control to the user.
+        """
+        completed: list[CompletedTask] = []
+        budget = float("inf") if time_limit is None else float(time_limit)
+        while self._queue and budget > 1e-9:
+            task = self._pop_available(self.clock.now)
+            if task is None:
+                next_time = self._next_available_time()
+                if next_time is None:
+                    break
+                self.clock.advance_to(next_time)
+                continue
+            used = task.work(min(task.remaining, budget))
+            budget -= used
+            self.clock.advance(used)
+            if self._current is not None:
+                self._current.add_visible(task.kind, used)
+            if task.finished:
+                record = task.complete(self.clock.now)
+                self._completed.append(record)
+                completed.append(record)
+            else:
+                heapq.heappush(self._queue, (task.priority, task.task_id, task))
+                break
+        return completed
+
+    # -------------------------------------------------------------- accounting
+    def _record_background(self, duration: float) -> None:
+        if self._current is not None:
+            self._current.background_time_used += duration
+
+    def _record_idle(self, duration: float) -> None:
+        if self._current is not None and duration > 0:
+            self._current.background_idle_time += duration

@@ -1,0 +1,84 @@
+"""Scheduling strategies (Section 4).
+
+Three strategies control *when* each task type runs relative to an Explore
+call:
+
+* **Serial** — everything (selection, extraction, inference, training, feature
+  evaluation) runs synchronously; the user sees the full latency.  This is the
+  baseline schedule used by Random and Coreset-PP in the paper's Figure 2.
+* **VE-partial** — model training (T_m) and feature evaluation (T_e) become
+  background tasks; training is scheduled "just in time" so a fresh model is
+  ready by the next iteration whenever the training time allows it.
+* **VE-full** — VE-partial plus eager feature extraction (T_f-): whenever the
+  background queue is empty during the labeling window, the scheduler extracts
+  features from a small batch of unlabeled videos, so active learning's
+  candidate pool grows without visible latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SchedulerConfig
+from ..exceptions import SchedulerError
+
+__all__ = ["StrategyBehaviour", "strategy_behaviour", "SERIAL", "VE_PARTIAL", "VE_FULL"]
+
+SERIAL = "serial"
+VE_PARTIAL = "ve-partial"
+VE_FULL = "ve-full"
+
+
+@dataclass(frozen=True)
+class StrategyBehaviour:
+    """What a scheduling strategy defers to the background."""
+
+    name: str
+    #: Train and evaluate synchronously inside the Explore call.
+    synchronous_training: bool
+    synchronous_evaluation: bool
+    #: Extract features for unlabeled videos while the user labels.
+    eager_extraction: bool
+    #: Use just-in-time scheduling for the background training task.
+    jit_training: bool
+
+    @property
+    def is_serial(self) -> bool:
+        return self.name == SERIAL
+
+
+_BEHAVIOURS = {
+    SERIAL: StrategyBehaviour(
+        name=SERIAL,
+        synchronous_training=True,
+        synchronous_evaluation=True,
+        eager_extraction=False,
+        jit_training=False,
+    ),
+    VE_PARTIAL: StrategyBehaviour(
+        name=VE_PARTIAL,
+        synchronous_training=False,
+        synchronous_evaluation=False,
+        eager_extraction=False,
+        jit_training=True,
+    ),
+    VE_FULL: StrategyBehaviour(
+        name=VE_FULL,
+        synchronous_training=False,
+        synchronous_evaluation=False,
+        eager_extraction=True,
+        jit_training=True,
+    ),
+}
+
+
+def strategy_behaviour(config_or_name: SchedulerConfig | str) -> StrategyBehaviour:
+    """Resolve a strategy name (or a SchedulerConfig) to its behaviour."""
+    name = (
+        config_or_name.strategy
+        if isinstance(config_or_name, SchedulerConfig)
+        else str(config_or_name)
+    )
+    if name not in _BEHAVIOURS:
+        raise SchedulerError(f"unknown scheduling strategy {name!r}; known: {sorted(_BEHAVIOURS)}")
+    return _BEHAVIOURS[name]

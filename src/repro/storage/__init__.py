@@ -1,0 +1,38 @@
+"""Storage subsystem: embedded column store plus the VOCALExplore stores.
+
+Public entry points:
+
+* :class:`StorageManager` — facade bundling the four concrete stores.
+* :class:`VideoStore`, :class:`LabelStore`, :class:`FeatureStore`,
+  :class:`ModelRegistry` — the concrete stores.
+* :class:`Table`, :class:`Column`, :func:`col`, :func:`lit` — the embedded
+  column store and its predicate-expression DSL.
+"""
+
+from .column import Column, ColumnType
+from .expressions import Expression, col, lit
+from .feature_store import FeatureStore
+from .label_store import LabelStore
+from .model_registry import ModelRegistry
+from .persistence import load_array, load_table, save_array, save_table
+from .storage_manager import StorageManager
+from .table import Table
+from .video_store import VideoStore
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Expression",
+    "col",
+    "lit",
+    "Table",
+    "save_table",
+    "load_table",
+    "save_array",
+    "load_array",
+    "VideoStore",
+    "LabelStore",
+    "FeatureStore",
+    "ModelRegistry",
+    "StorageManager",
+]

@@ -1,0 +1,154 @@
+"""Typed, append-only columns backing the embedded column store.
+
+The paper's prototype keeps metadata in DuckDB; this reproduction provides a
+small embedded column store with the same role.  A :class:`Column` owns a
+numpy buffer with amortised O(1) appends and enforces a declared logical type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import SchemaError
+
+__all__ = ["ColumnType", "Column"]
+
+#: Mapping from logical column types to numpy storage dtypes.
+_DTYPE_BY_TYPE = {
+    "int": np.int64,
+    "float": np.float64,
+    "bool": np.bool_,
+    "str": object,
+}
+
+
+class ColumnType:
+    """Logical column types supported by the store."""
+
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+    STR = "str"
+
+    ALL = (INT, FLOAT, BOOL, STR)
+
+    @staticmethod
+    def validate(type_name: str) -> str:
+        if type_name not in ColumnType.ALL:
+            raise SchemaError(f"unsupported column type {type_name!r}")
+        return type_name
+
+
+class Column:
+    """A single named, typed column with amortised O(1) appends."""
+
+    _INITIAL_CAPACITY = 16
+
+    def __init__(self, name: str, type_name: str, values: Iterable[Any] = ()) -> None:
+        self.name = name
+        self.type_name = ColumnType.validate(type_name)
+        self._dtype = _DTYPE_BY_TYPE[self.type_name]
+        self._size = 0
+        self._buffer = np.empty(self._INITIAL_CAPACITY, dtype=self._dtype)
+        self.extend(values)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"Column(name={self.name!r}, type={self.type_name!r}, size={self._size})"
+
+    def _coerce(self, value: Any) -> Any:
+        """Validate and convert one value to the column's storage type."""
+        if value is None:
+            raise SchemaError(f"column {self.name!r} does not accept None")
+        if self.type_name == ColumnType.INT:
+            if isinstance(value, (bool, np.bool_)):
+                raise SchemaError(f"column {self.name!r} expects int, got bool")
+            if isinstance(value, (int, np.integer)):
+                return int(value)
+            raise SchemaError(f"column {self.name!r} expects int, got {type(value).__name__}")
+        if self.type_name == ColumnType.FLOAT:
+            if isinstance(value, (bool, np.bool_)):
+                raise SchemaError(f"column {self.name!r} expects float, got bool")
+            if isinstance(value, (int, float, np.integer, np.floating)):
+                return float(value)
+            raise SchemaError(f"column {self.name!r} expects float, got {type(value).__name__}")
+        if self.type_name == ColumnType.BOOL:
+            if isinstance(value, (bool, np.bool_)):
+                return bool(value)
+            raise SchemaError(f"column {self.name!r} expects bool, got {type(value).__name__}")
+        # STR
+        if isinstance(value, str):
+            return value
+        raise SchemaError(f"column {self.name!r} expects str, got {type(value).__name__}")
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = len(self._buffer)
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, capacity * 2)
+        new_buffer = np.empty(new_capacity, dtype=self._dtype)
+        new_buffer[: self._size] = self._buffer[: self._size]
+        self._buffer = new_buffer
+
+    def append(self, value: Any) -> None:
+        """Append one value, coercing it to the column type."""
+        coerced = self._coerce(value)
+        self._ensure_capacity(1)
+        self._buffer[self._size] = coerced
+        self._size += 1
+
+    def extend(self, values: Iterable[Any]) -> None:
+        """Append every value in ``values``."""
+        for value in values:
+            self.append(value)
+
+    def values(self) -> np.ndarray:
+        """Return a read-only view of the stored values."""
+        view = self._buffer[: self._size]
+        view.flags.writeable = False
+        return view
+
+    def to_list(self) -> list[Any]:
+        """Return the values as a plain Python list."""
+        return [self._as_python(v) for v in self._buffer[: self._size]]
+
+    def _as_python(self, value: Any) -> Any:
+        if self.type_name == ColumnType.INT:
+            return int(value)
+        if self.type_name == ColumnType.FLOAT:
+            return float(value)
+        if self.type_name == ColumnType.BOOL:
+            return bool(value)
+        return value
+
+    def get(self, index: int) -> Any:
+        """Return the value at ``index`` as a Python scalar."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range for column of size {self._size}")
+        return self._as_python(self._buffer[index])
+
+    def set(self, index: int, value: Any) -> None:
+        """Overwrite the value at ``index`` (used for in-place row updates)."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range for column of size {self._size}")
+        self._buffer[index] = self._coerce(value)
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Column":
+        """Return a new column containing the rows at ``indices`` in order."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self._size):
+            raise IndexError("take() indices out of range")
+        taken = Column(self.name, self.type_name)
+        taken.extend(self._as_python(v) for v in self._buffer[idx])
+        return taken
+
+    def copy(self) -> "Column":
+        """Return a deep copy of the column."""
+        duplicate = Column(self.name, self.type_name)
+        duplicate.extend(self.to_list())
+        return duplicate

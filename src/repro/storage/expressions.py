@@ -1,0 +1,196 @@
+"""Predicate expressions evaluated against column-store tables.
+
+Expressions form a tiny algebra — column references, literals, comparisons,
+and boolean connectives — that the :class:`~repro.storage.table.Table` filter
+method evaluates vectorised over whole columns.  They play the role of the SQL
+``WHERE`` clauses the paper's prototype pushes into DuckDB.
+
+Example::
+
+    from repro.storage.expressions import col
+
+    predicate = (col("duration") > 5.0) & (col("label") == "bedded")
+    rows = table.filter(predicate)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..exceptions import SchemaError
+
+__all__ = ["Expression", "ColumnRef", "Literal", "Comparison", "BooleanOp", "Not", "col", "lit"]
+
+
+class Expression:
+    """Base class for all expressions."""
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Evaluate against a mapping of column name -> value array."""
+        raise NotImplementedError
+
+    # Comparison operators build Comparison nodes.
+    def __eq__(self, other: Any) -> "Comparison":  # type: ignore[override]
+        return Comparison(self, _wrap(other), "==")
+
+    def __ne__(self, other: Any) -> "Comparison":  # type: ignore[override]
+        return Comparison(self, _wrap(other), "!=")
+
+    def __lt__(self, other: Any) -> "Comparison":
+        return Comparison(self, _wrap(other), "<")
+
+    def __le__(self, other: Any) -> "Comparison":
+        return Comparison(self, _wrap(other), "<=")
+
+    def __gt__(self, other: Any) -> "Comparison":
+        return Comparison(self, _wrap(other), ">")
+
+    def __ge__(self, other: Any) -> "Comparison":
+        return Comparison(self, _wrap(other), ">=")
+
+    # Boolean connectives.
+    def __and__(self, other: "Expression") -> "BooleanOp":
+        return BooleanOp(self, other, "and")
+
+    def __or__(self, other: "Expression") -> "BooleanOp":
+        return BooleanOp(self, other, "or")
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def isin(self, values: Any) -> "Membership":
+        """Build a membership test against a collection of literals."""
+        return Membership(self, list(values))
+
+    # Expressions are structural values; identity-based hashing is fine because
+    # they are never used as dict keys by the library itself.
+    __hash__ = object.__hash__
+
+
+class ColumnRef(Expression):
+    """Reference to a named column."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        if self.name not in columns:
+            raise SchemaError(f"unknown column {self.name!r} in expression")
+        return columns[self.name]
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        return np.asarray(self.value)
+
+
+_COMPARATORS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+class Comparison(Expression):
+    """Element-wise comparison between two expressions."""
+
+    def __init__(self, left: Expression, right: Expression, op: str) -> None:
+        if op not in _COMPARATORS:
+            raise SchemaError(f"unsupported comparison operator {op!r}")
+        self.left = left
+        self.right = right
+        self.op = op
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        left = self.left.evaluate(columns)
+        right = self.right.evaluate(columns)
+        result = _COMPARATORS[self.op](left, right)
+        return np.asarray(result, dtype=bool)
+
+
+class BooleanOp(Expression):
+    """Logical AND / OR of two boolean expressions."""
+
+    def __init__(self, left: Expression, right: Expression, op: str) -> None:
+        if op not in ("and", "or"):
+            raise SchemaError(f"unsupported boolean operator {op!r}")
+        self.left = left
+        self.right = right
+        self.op = op
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        left = np.asarray(self.left.evaluate(columns), dtype=bool)
+        right = np.asarray(self.right.evaluate(columns), dtype=bool)
+        if self.op == "and":
+            return np.logical_and(left, right)
+        return np.logical_or(left, right)
+
+
+class Not(Expression):
+    """Logical negation of a boolean expression."""
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        return np.logical_not(np.asarray(self.operand.evaluate(columns), dtype=bool))
+
+
+class Membership(Expression):
+    """Test whether an expression's value is one of a set of literals."""
+
+    def __init__(self, operand: Expression, values: list[Any]) -> None:
+        self.operand = operand
+        self.values = values
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r}.isin({self.values!r})"
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        target = self.operand.evaluate(columns)
+        mask = np.zeros(target.shape, dtype=bool)
+        for value in self.values:
+            mask |= np.asarray(target == value, dtype=bool)
+        return mask
+
+
+def _wrap(value: Any) -> Expression:
+    """Wrap plain values into Literal nodes; pass expressions through."""
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand for building a column reference."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand for building a literal."""
+    return Literal(value)

@@ -1,0 +1,220 @@
+"""Feature-vector store.
+
+The paper stores extracted feature vectors in Parquet files keyed by
+``(fid, vid, start, end)``.  This store keeps them in memory grouped by
+extractor name, supports exact-clip and nearest-clip lookups, and can persist
+each extractor's vectors to a columnar ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import MissingFeatureError
+from ..types import ClipSpec, FeatureVector
+
+__all__ = ["FeatureStore"]
+
+
+class _ExtractorShard:
+    """All feature vectors produced by one extractor."""
+
+    def __init__(self, fid: str) -> None:
+        self.fid = fid
+        self.clips: list[ClipSpec] = []
+        self.vectors: list[np.ndarray] = []
+        self._index: dict[tuple[int, float, float], int] = {}
+        self._by_vid: dict[int, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.clips)
+
+    def add(self, clip: ClipSpec, vector: np.ndarray) -> bool:
+        """Store one vector; returns False when the exact clip already exists."""
+        key = (clip.vid, clip.start, clip.end)
+        if key in self._index:
+            return False
+        position = len(self.clips)
+        self.clips.append(clip)
+        self.vectors.append(np.asarray(vector, dtype=np.float64))
+        self._index[key] = position
+        self._by_vid.setdefault(clip.vid, []).append(position)
+        return True
+
+    def has(self, clip: ClipSpec) -> bool:
+        return (clip.vid, clip.start, clip.end) in self._index
+
+    def get(self, clip: ClipSpec) -> np.ndarray:
+        key = (clip.vid, clip.start, clip.end)
+        if key not in self._index:
+            raise MissingFeatureError(
+                f"no {self.fid} feature for vid={clip.vid} [{clip.start}, {clip.end}]"
+            )
+        return self.vectors[self._index[key]]
+
+    def positions_for_vid(self, vid: int) -> list[int]:
+        return self._by_vid.get(vid, [])
+
+    def nearest(self, clip: ClipSpec) -> tuple[ClipSpec, np.ndarray]:
+        """Return the stored clip on the same video closest to ``clip``'s midpoint."""
+        positions = self.positions_for_vid(clip.vid)
+        if not positions:
+            raise MissingFeatureError(
+                f"no {self.fid} features extracted for video {clip.vid}"
+            )
+        target = clip.midpoint
+        best = min(positions, key=lambda p: abs(self.clips[p].midpoint - target))
+        return self.clips[best], self.vectors[best]
+
+
+class FeatureStore:
+    """Feature vectors grouped by extractor name (the paper's ``fid``)."""
+
+    def __init__(self) -> None:
+        self._shards: dict[str, _ExtractorShard] = {}
+
+    # ------------------------------------------------------------------ writes
+    def add(self, feature: FeatureVector) -> bool:
+        """Store one feature vector; returns False when it was already stored."""
+        shard = self._shards.setdefault(feature.fid, _ExtractorShard(feature.fid))
+        return shard.add(feature.clip, feature.vector)
+
+    def add_many(self, features: Iterable[FeatureVector]) -> int:
+        """Store several feature vectors; returns how many were new."""
+        return sum(1 for feature in features if self.add(feature))
+
+    # ------------------------------------------------------------------- reads
+    def extractors(self) -> list[str]:
+        """Extractor names with at least one stored vector."""
+        return list(self._shards)
+
+    def count(self, fid: str) -> int:
+        """Number of vectors stored for extractor ``fid``."""
+        shard = self._shards.get(fid)
+        return len(shard) if shard is not None else 0
+
+    def has(self, fid: str, clip: ClipSpec) -> bool:
+        """True when the exact clip has a stored vector for ``fid``."""
+        shard = self._shards.get(fid)
+        return shard is not None and shard.has(clip)
+
+    def has_any_for_video(self, fid: str, vid: int) -> bool:
+        """True when any clip of video ``vid`` has a stored vector for ``fid``."""
+        shard = self._shards.get(fid)
+        return shard is not None and bool(shard.positions_for_vid(vid))
+
+    def get(self, fid: str, clip: ClipSpec) -> np.ndarray:
+        """Return the vector stored for the exact clip.
+
+        Raises:
+            MissingFeatureError: when the clip has not been extracted.
+        """
+        shard = self._shards.get(fid)
+        if shard is None:
+            raise MissingFeatureError(f"no features stored for extractor {fid!r}")
+        return shard.get(clip)
+
+    def get_nearest(self, fid: str, clip: ClipSpec) -> tuple[ClipSpec, np.ndarray]:
+        """Return the stored (clip, vector) on the same video closest in time."""
+        shard = self._shards.get(fid)
+        if shard is None:
+            raise MissingFeatureError(f"no features stored for extractor {fid!r}")
+        return shard.nearest(clip)
+
+    def clips_for(self, fid: str, vid: int | None = None) -> list[ClipSpec]:
+        """Clips with stored vectors for ``fid`` (optionally restricted to one video)."""
+        shard = self._shards.get(fid)
+        if shard is None:
+            return []
+        if vid is None:
+            return list(shard.clips)
+        return [shard.clips[p] for p in shard.positions_for_vid(vid)]
+
+    def vids_with_features(self, fid: str) -> list[int]:
+        """Distinct vids that have at least one stored vector for ``fid``."""
+        shard = self._shards.get(fid)
+        if shard is None:
+            return []
+        return list(shard._by_vid)
+
+    def matrix(self, fid: str, clips: Sequence[ClipSpec]) -> np.ndarray:
+        """Stack the vectors for ``clips`` into a (len(clips), d) matrix.
+
+        Falls back to the nearest stored clip on the same video when the exact
+        clip is missing, matching how the prototype aligns 1-second labels to
+        feature windows.
+        """
+        shard = self._shards.get(fid)
+        if shard is None:
+            raise MissingFeatureError(f"no features stored for extractor {fid!r}")
+        rows = []
+        for clip in clips:
+            if shard.has(clip):
+                rows.append(shard.get(clip))
+            else:
+                __, vector = shard.nearest(clip)
+                rows.append(vector)
+        return np.vstack(rows) if rows else np.empty((0, 0))
+
+    def all_vectors(self, fid: str) -> tuple[list[ClipSpec], np.ndarray]:
+        """Return every stored clip and a stacked matrix of its vectors for ``fid``."""
+        shard = self._shards.get(fid)
+        if shard is None or len(shard) == 0:
+            return [], np.empty((0, 0))
+        return list(shard.clips), np.vstack(shard.vectors)
+
+    # ------------------------------------------------------------- persistence
+    def save(self, directory: str | Path) -> None:
+        """Persist one ``.npz`` file per extractor under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {"extractors": list(self._shards)}
+        (directory / "features.manifest.json").write_text(json.dumps(manifest, indent=2))
+        for fid, shard in self._shards.items():
+            if len(shard) == 0:
+                continue
+            vids = np.array([c.vid for c in shard.clips], dtype=np.int64)
+            starts = np.array([c.start for c in shard.clips], dtype=np.float64)
+            ends = np.array([c.end for c in shard.clips], dtype=np.float64)
+            vectors = np.vstack(shard.vectors)
+            np.savez(
+                directory / f"features_{fid}.npz",
+                vids=vids,
+                starts=starts,
+                ends=ends,
+                vectors=vectors,
+            )
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "FeatureStore":
+        """Restore a store previously written by :meth:`save`."""
+        directory = Path(directory)
+        manifest_path = directory / "features.manifest.json"
+        store = cls()
+        if not manifest_path.exists():
+            return store
+        manifest = json.loads(manifest_path.read_text())
+        for fid in manifest.get("extractors", []):
+            payload_path = directory / f"features_{fid}.npz"
+            if not payload_path.exists():
+                continue
+            with np.load(payload_path, allow_pickle=False) as payload:
+                vids = payload["vids"]
+                starts = payload["starts"]
+                ends = payload["ends"]
+                vectors = payload["vectors"]
+            for i in range(len(vids)):
+                store.add(
+                    FeatureVector(
+                        fid=fid,
+                        vid=int(vids[i]),
+                        start=float(starts[i]),
+                        end=float(ends[i]),
+                        vector=vectors[i],
+                    )
+                )
+        return store

@@ -1,0 +1,129 @@
+"""Label store.
+
+Persists every ``AddLabel`` call and answers the queries the Active Learning
+Manager needs: per-class counts (for the skew test and the S_max diversity
+metric), the full label list (for training), and per-video lookups (so already
+labeled clips are not sampled again).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..types import ClipSpec, Label
+from .expressions import col
+from .persistence import load_table, save_table
+from .table import Table
+
+__all__ = ["LabelStore"]
+
+_SCHEMA = {
+    "label_id": "int",
+    "vid": "int",
+    "start": "float",
+    "end": "float",
+    "label": "str",
+}
+
+
+class LabelStore:
+    """Append-only store of user-provided labels."""
+
+    TABLE_NAME = "labels"
+
+    def __init__(self) -> None:
+        self._table = Table(self.TABLE_NAME, _SCHEMA, primary_key="label_id")
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # ------------------------------------------------------------------ writes
+    def add(self, label: Label) -> int:
+        """Store one label; returns its id."""
+        label_id = self._next_id
+        self._table.insert(
+            {
+                "label_id": label_id,
+                "vid": label.vid,
+                "start": label.start,
+                "end": label.end,
+                "label": label.label,
+            }
+        )
+        self._next_id += 1
+        return label_id
+
+    def add_many(self, labels: Iterable[Label]) -> list[int]:
+        """Store several labels; returns their ids."""
+        return [self.add(label) for label in labels]
+
+    # ------------------------------------------------------------------- reads
+    def all(self) -> list[Label]:
+        """Return every stored label in insertion order."""
+        return [
+            Label(vid=row["vid"], start=row["start"], end=row["end"], label=row["label"])
+            for row in self._table.rows()
+        ]
+
+    def for_video(self, vid: int) -> list[Label]:
+        """Return the labels applied to video ``vid``."""
+        subset = self._table.filter(col("vid") == vid)
+        return [
+            Label(vid=row["vid"], start=row["start"], end=row["end"], label=row["label"])
+            for row in subset.rows()
+        ]
+
+    def labeled_clips(self) -> list[ClipSpec]:
+        """Return the clip of every stored label (possibly with duplicates)."""
+        return [label.clip for label in self.all()]
+
+    def labeled_vids(self) -> list[int]:
+        """Return the distinct vids that carry at least one label."""
+        return [int(v) for v in self._table.distinct("vid")]
+
+    def class_counts(self) -> dict[str, int]:
+        """Return the number of labels per class."""
+        return dict(Counter(str(v) for v in self._table.column("label")))
+
+    def classes(self) -> list[str]:
+        """Return the distinct class names in first-seen order."""
+        return [str(v) for v in self._table.distinct("label")]
+
+    def count_for_class(self, label: str) -> int:
+        """Return the number of labels with class ``label``."""
+        return self.class_counts().get(label, 0)
+
+    def covers(self, clip: ClipSpec) -> bool:
+        """Return True when some stored label overlaps ``clip``."""
+        for label in self.for_video(clip.vid):
+            if label.clip.overlaps(clip):
+                return True
+        return False
+
+    def diversity_smax(self) -> float:
+        """Fraction of labels belonging to the most-seen class (paper's S_max).
+
+        Returns 0.0 when no labels have been collected.
+        """
+        counts = self.class_counts()
+        total = sum(counts.values())
+        if total == 0:
+            return 0.0
+        return max(counts.values()) / total
+
+    # ------------------------------------------------------------- persistence
+    def save(self, directory: str | Path) -> None:
+        """Persist the label table under ``directory``."""
+        save_table(self._table, directory)
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "LabelStore":
+        """Restore a store previously written by :meth:`save`."""
+        store = cls()
+        store._table = load_table(cls.TABLE_NAME, directory)
+        ids = store._table.column("label_id")
+        store._next_id = int(max(ids)) + 1 if len(ids) else 0
+        return store

@@ -1,0 +1,115 @@
+"""Model registry.
+
+Stores trained model checkpoints (the paper saves PyTorch checkpoints to disk;
+here models are in-memory objects with optional array persistence) together
+with the metadata the Model Manager needs to serve the "latest model per
+feature extractor" while a newer one is still training.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from ..exceptions import ModelError
+from ..types import TrainedModelInfo
+from .persistence import save_array
+
+__all__ = ["ModelRegistry"]
+
+
+class ModelRegistry:
+    """Versioned registry of trained models, keyed by feature-extractor name."""
+
+    def __init__(self) -> None:
+        self._models: dict[int, Any] = {}
+        self._info: dict[int, TrainedModelInfo] = {}
+        self._latest_by_feature: dict[str, int] = {}
+        self._versions_by_feature: dict[str, int] = {}
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    # ------------------------------------------------------------------ writes
+    def register(
+        self,
+        feature_name: str,
+        model: Any,
+        classes: list[str],
+        num_labels: int,
+        created_at: float,
+    ) -> TrainedModelInfo:
+        """Register a newly trained model and mark it as the latest for its feature."""
+        model_id = self._next_id
+        self._next_id += 1
+        version = self._versions_by_feature.get(feature_name, 0) + 1
+        self._versions_by_feature[feature_name] = version
+        info = TrainedModelInfo(
+            model_id=model_id,
+            feature_name=feature_name,
+            version=version,
+            classes=list(classes),
+            num_labels=num_labels,
+            created_at=created_at,
+        )
+        self._models[model_id] = model
+        self._info[model_id] = info
+        self._latest_by_feature[feature_name] = model_id
+        return info
+
+    # ------------------------------------------------------------------- reads
+    def latest(self, feature_name: str) -> tuple[Any, TrainedModelInfo] | None:
+        """Return the most recently registered model for ``feature_name`` (or None)."""
+        model_id = self._latest_by_feature.get(feature_name)
+        if model_id is None:
+            return None
+        return self._models[model_id], self._info[model_id]
+
+    def get(self, model_id: int) -> tuple[Any, TrainedModelInfo]:
+        """Return a model and its metadata by id."""
+        if model_id not in self._models:
+            raise ModelError(f"model {model_id} is not registered")
+        return self._models[model_id], self._info[model_id]
+
+    def info(self, model_id: int) -> TrainedModelInfo:
+        """Return the metadata for ``model_id``."""
+        if model_id not in self._info:
+            raise ModelError(f"model {model_id} is not registered")
+        return self._info[model_id]
+
+    def history(self, feature_name: str) -> list[TrainedModelInfo]:
+        """Return all registered models for one feature, oldest first."""
+        return sorted(
+            (info for info in self._info.values() if info.feature_name == feature_name),
+            key=lambda info: info.version,
+        )
+
+    def features_with_models(self) -> list[str]:
+        """Feature names that have at least one trained model."""
+        return list(self._latest_by_feature)
+
+    # ------------------------------------------------------------- persistence
+    def save_checkpoint(self, model_id: int, directory: str | Path) -> Path:
+        """Persist a model's weight arrays as a checkpoint file.
+
+        The model object must expose ``get_parameters() -> np.ndarray``;
+        models without parameters cannot be checkpointed.
+        """
+        model, info = self.get(model_id)
+        if not hasattr(model, "get_parameters"):
+            raise ModelError(f"model {model_id} does not support checkpointing")
+        directory = Path(directory)
+        path = directory / f"model_{info.feature_name}_v{info.version}.npy"
+        save_array(
+            model.get_parameters(),
+            path,
+            metadata={
+                "model_id": info.model_id,
+                "feature_name": info.feature_name,
+                "version": info.version,
+                "classes": list(info.classes),
+                "num_labels": info.num_labels,
+            },
+        )
+        return path

@@ -1,0 +1,103 @@
+"""Disk persistence for column-store tables and feature arrays.
+
+Tables are written as a JSON schema file plus one ``.npy``-style payload per
+column inside a single ``.npz`` archive, mirroring the paper's split between a
+metadata database (DuckDB) and columnar feature files (Parquet).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..exceptions import StorageError
+from .table import Table
+
+__all__ = ["save_table", "load_table", "save_array", "load_array"]
+
+_SCHEMA_SUFFIX = ".schema.json"
+_DATA_SUFFIX = ".columns.npz"
+
+
+def _paths(directory: Path, table_name: str) -> tuple[Path, Path]:
+    return (
+        directory / f"{table_name}{_SCHEMA_SUFFIX}",
+        directory / f"{table_name}{_DATA_SUFFIX}",
+    )
+
+
+def save_table(table: Table, directory: str | Path) -> None:
+    """Persist ``table`` under ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    schema_path, data_path = _paths(directory, table.name)
+
+    schema_doc = {
+        "name": table.name,
+        "primary_key": table.primary_key,
+        "schema": table.schema,
+        "row_count": len(table),
+    }
+    schema_path.write_text(json.dumps(schema_doc, indent=2))
+
+    arrays: dict[str, np.ndarray] = {}
+    for name, type_name in table.schema.items():
+        values = table.column(name)
+        if type_name == "str":
+            arrays[name] = np.asarray([str(v) for v in values], dtype=np.str_)
+        else:
+            arrays[name] = np.asarray(values)
+    np.savez(data_path, **arrays)
+
+
+def load_table(table_name: str, directory: str | Path) -> Table:
+    """Load a table previously written by :func:`save_table`."""
+    directory = Path(directory)
+    schema_path, data_path = _paths(directory, table_name)
+    if not schema_path.exists() or not data_path.exists():
+        raise StorageError(f"table {table_name!r} not found under {directory}")
+
+    schema_doc = json.loads(schema_path.read_text())
+    table = Table(
+        schema_doc["name"],
+        schema_doc["schema"],
+        primary_key=schema_doc.get("primary_key"),
+    )
+    with np.load(data_path, allow_pickle=False) as payload:
+        columns = {name: payload[name] for name in schema_doc["schema"]}
+    row_count = schema_doc["row_count"]
+    for index in range(row_count):
+        row = {}
+        for name, type_name in schema_doc["schema"].items():
+            value = columns[name][index]
+            if type_name == "int":
+                row[name] = int(value)
+            elif type_name == "float":
+                row[name] = float(value)
+            elif type_name == "bool":
+                row[name] = bool(value)
+            else:
+                row[name] = str(value)
+        table.insert(row)
+    return table
+
+
+def save_array(array: np.ndarray, path: str | Path, metadata: Mapping[str, object] | None = None) -> None:
+    """Persist a numpy array plus optional JSON metadata next to it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.save(path, array, allow_pickle=False)
+    if metadata is not None:
+        meta_path = path.with_suffix(path.suffix + ".meta.json")
+        meta_path.write_text(json.dumps(dict(metadata), indent=2))
+
+
+def load_array(path: str | Path) -> np.ndarray:
+    """Load an array written by :func:`save_array`."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"array file {path} does not exist")
+    return np.load(path, allow_pickle=False)

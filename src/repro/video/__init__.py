@@ -1,0 +1,16 @@
+"""Synthetic video substrate: corpus, ground-truth tracks, decoder, sampling."""
+
+from .activity import ActivitySegment, ActivityTrack
+from .corpus import CorpusVideo, VideoCorpus
+from .decoder import DecodedClip, Decoder
+from .sampler import ClipSampler
+
+__all__ = [
+    "ActivitySegment",
+    "ActivityTrack",
+    "CorpusVideo",
+    "VideoCorpus",
+    "DecodedClip",
+    "Decoder",
+    "ClipSampler",
+]

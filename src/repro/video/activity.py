@@ -1,0 +1,109 @@
+"""Ground-truth activity tracks for synthetic videos.
+
+Each synthetic video carries an :class:`ActivityTrack`: a list of labeled time
+segments describing which activity (or activities — segments may overlap, as
+in the Deer and Charades datasets) is happening at each point in time.  The
+track plays the role of the human-visible content of a real video: the oracle
+user reads labels from it and the feature extractors derive their embeddings
+from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..exceptions import VideoError
+
+__all__ = ["ActivitySegment", "ActivityTrack"]
+
+
+@dataclass(frozen=True)
+class ActivitySegment:
+    """One contiguous stretch of a single activity within a video."""
+
+    start: float
+    end: float
+    activity: str
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise VideoError(
+                f"activity segment must have end > start, got [{self.start}, {self.end}]"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlap(self, start: float, end: float) -> float:
+        """Length of the intersection between this segment and [start, end]."""
+        return max(0.0, min(self.end, end) - max(self.start, start))
+
+
+class ActivityTrack:
+    """The ground-truth activities of one video."""
+
+    def __init__(self, duration: float, segments: Iterable[ActivitySegment]) -> None:
+        if duration <= 0:
+            raise VideoError(f"track duration must be positive, got {duration}")
+        self.duration = float(duration)
+        self.segments: list[ActivitySegment] = sorted(segments, key=lambda s: (s.start, s.end))
+        for segment in self.segments:
+            if segment.start < 0 or segment.end > self.duration + 1e-9:
+                raise VideoError(
+                    f"segment [{segment.start}, {segment.end}] falls outside video of "
+                    f"duration {self.duration}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def activities(self) -> list[str]:
+        """Distinct activities present in this track, in first-seen order."""
+        seen: dict[str, None] = {}
+        for segment in self.segments:
+            seen.setdefault(segment.activity, None)
+        return list(seen)
+
+    def activities_at(self, time: float) -> list[str]:
+        """Activities active at an instant (possibly empty, possibly several)."""
+        return [s.activity for s in self.segments if s.start <= time < s.end]
+
+    def activities_in(self, start: float, end: float, min_overlap: float = 0.0) -> list[str]:
+        """Activities overlapping the interval [start, end].
+
+        Args:
+            start: Interval start in seconds.
+            end: Interval end in seconds.
+            min_overlap: Minimum overlap, in seconds, for an activity to count.
+
+        Returns:
+            Distinct activity names ordered by decreasing overlap.
+        """
+        if end <= start:
+            raise VideoError(f"interval must have end > start, got [{start}, {end}]")
+        overlap_by_activity: dict[str, float] = {}
+        for segment in self.segments:
+            overlap = segment.overlap(start, end)
+            if overlap > min_overlap:
+                overlap_by_activity[segment.activity] = (
+                    overlap_by_activity.get(segment.activity, 0.0) + overlap
+                )
+        return sorted(overlap_by_activity, key=overlap_by_activity.__getitem__, reverse=True)
+
+    def dominant_activity(self, start: float, end: float) -> str | None:
+        """The activity with the largest overlap in [start, end], or None."""
+        ordered = self.activities_in(start, end)
+        return ordered[0] if ordered else None
+
+    def coverage(self, activity: str) -> float:
+        """Total seconds covered by ``activity`` in this track."""
+        return sum(s.duration for s in self.segments if s.activity == activity)
+
+    def activity_fractions(self, activities: Sequence[str] | None = None) -> dict[str, float]:
+        """Fraction of the video covered by each activity (clipped to [0, 1])."""
+        names = list(activities) if activities is not None else self.activities()
+        return {
+            name: min(1.0, self.coverage(name) / self.duration) for name in names
+        }

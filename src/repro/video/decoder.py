@@ -1,0 +1,110 @@
+"""Simulated video decoder.
+
+Real VOCALExplore decodes encoded video with NVIDIA DALI (or PyTorchVideo) and
+feeds frame tensors into the pretrained extractors.  The simulated decoder
+materialises frame "tensors" — rows in the corpus latent space — for a clip.
+Decoding itself is free in wall-clock terms here; its *cost* is charged by the
+scheduler's cost model exactly where the paper pays GPU decode time, so the
+latency experiments still exercise the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidClipError
+from ..types import ClipSpec
+from .corpus import VideoCorpus
+
+__all__ = ["DecodedClip", "Decoder"]
+
+
+@dataclass(frozen=True)
+class DecodedClip:
+    """Decoded frames for one clip.
+
+    Attributes:
+        clip: The decoded time interval.
+        frames: Array of shape (num_frames, latent_dim); each row is one frame.
+        fps: Frame rate the frames were sampled at.
+    """
+
+    clip: ClipSpec
+    frames: np.ndarray
+    fps: float
+
+    @property
+    def num_frames(self) -> int:
+        return int(self.frames.shape[0])
+
+    def middle_frame(self) -> np.ndarray:
+        """The center frame (used by single-frame image extractors such as CLIP)."""
+        return self.frames[self.num_frames // 2]
+
+    def strided_frames(self, stride: int) -> np.ndarray:
+        """Every ``stride``-th frame (used by sequence models and pooled extractors)."""
+        if stride < 1:
+            raise InvalidClipError(f"stride must be >= 1, got {stride}")
+        return self.frames[::stride]
+
+
+class Decoder:
+    """Decodes clips of corpus videos into frame arrays."""
+
+    def __init__(self, corpus: VideoCorpus) -> None:
+        self._corpus = corpus
+
+    @property
+    def corpus(self) -> VideoCorpus:
+        return self._corpus
+
+    def decode(self, clip: ClipSpec, fps: float | None = None) -> DecodedClip:
+        """Decode one clip into frames.
+
+        Args:
+            clip: The time interval to decode; clamped to the video duration.
+            fps: Optional frame rate override; defaults to the video's own rate.
+
+        Raises:
+            InvalidClipError: when the clip starts at or beyond the video's end.
+        """
+        video = self._corpus.video(clip.vid)
+        duration = video.record.duration
+        if clip.start >= duration:
+            raise InvalidClipError(
+                f"clip start {clip.start} is beyond video {clip.vid} duration {duration}"
+            )
+        end = min(clip.end, duration)
+        clamped = ClipSpec(clip.vid, clip.start, end)
+        rate = fps if fps is not None else video.record.fps
+        num_frames = max(1, int(round(clamped.duration * rate)))
+        frames = self._corpus.frame_latents(clamped, num_frames)
+        return DecodedClip(clip=clamped, frames=frames, fps=rate)
+
+    def decode_window(
+        self,
+        vid: int,
+        start: float,
+        sequence_length: int = 16,
+        stride: int = 2,
+        fps: float | None = None,
+    ) -> DecodedClip:
+        """Decode the paper's standard feature window.
+
+        The prototype feeds video models sequences of 16 frames with a stride
+        of 2, i.e. a window of 32 raw frames (~1.07 s at 30 fps).
+        """
+        video = self._corpus.video(vid)
+        rate = fps if fps is not None else video.record.fps
+        window_seconds = sequence_length * stride / rate
+        end = min(start + window_seconds, video.record.duration)
+        if end <= start:
+            raise InvalidClipError(
+                f"window starting at {start} falls outside video {vid} "
+                f"of duration {video.record.duration}"
+            )
+        decoded = self.decode(ClipSpec(vid, start, end), fps=rate)
+        strided = decoded.strided_frames(stride)[:sequence_length]
+        return DecodedClip(clip=decoded.clip, frames=strided, fps=rate / stride)

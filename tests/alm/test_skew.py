@@ -1,0 +1,109 @@
+"""Tests for the skew-detection statistical tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ALMConfig
+from repro.exceptions import ALMError
+from repro.alm.skew import SkewDetector, anderson_darling_pvalue, frequency_test_pvalue
+
+
+class TestAndersonDarling:
+    def test_uniform_counts_not_significant(self):
+        assert anderson_darling_pvalue({"a": 20, "b": 20, "c": 20}) > 0.05
+
+    def test_heavily_skewed_counts_significant(self):
+        assert anderson_darling_pvalue({"a": 95, "b": 3, "c": 2}) < 0.01
+
+    def test_single_class_degenerate(self):
+        assert anderson_darling_pvalue({"a": 50}) == 1.0
+
+    def test_few_labels_returns_high_pvalue(self):
+        assert anderson_darling_pvalue({"a": 1, "b": 0}) == 1.0
+
+    def test_pvalue_bounds(self):
+        value = anderson_darling_pvalue({"a": 10, "b": 4, "c": 1})
+        assert 0.0 <= value <= 1.0
+
+
+class TestFrequencyTest:
+    def test_uniform_counts_not_significant(self):
+        assert frequency_test_pvalue([20, 20, 20], multiplier=2.0) > 0.05
+
+    def test_extreme_skew_significant(self):
+        assert frequency_test_pvalue([97, 2, 1], multiplier=2.0) < 0.05
+
+    def test_slight_imbalance_not_flagged(self):
+        # Mild splits should not be treated as skew even with many labels
+        # (the property the paper highlights over the Anderson-Darling test).
+        assert frequency_test_pvalue([530, 470], multiplier=2.0) > 0.05
+        assert frequency_test_pvalue([5300, 4700], multiplier=2.0) > 0.05
+
+    def test_anderson_darling_flags_slight_imbalance_eventually(self):
+        # By contrast the AD test does become significant for large samples.
+        assert anderson_darling_pvalue({"a": 5300, "b": 4700}) < 0.05
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ALMError):
+            frequency_test_pvalue([5, 5], multiplier=0.5)
+
+    def test_zero_total(self):
+        assert frequency_test_pvalue([0, 0]) == 1.0
+
+    def test_single_class(self):
+        assert frequency_test_pvalue([10]) == 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=2, max_size=10))
+    def test_pvalue_in_unit_interval(self, counts):
+        value = frequency_test_pvalue(counts, multiplier=2.0)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=10, max_value=100))
+    def test_perfectly_balanced_never_flagged(self, num_classes, per_class):
+        counts = [per_class] * num_classes
+        assert frequency_test_pvalue(counts, multiplier=2.0) > 0.05
+
+
+class TestSkewDetector:
+    def test_not_enough_labels_is_not_skewed(self):
+        detector = SkewDetector(ALMConfig(min_labels_for_skew_test=10))
+        decision = detector.evaluate({"a": 4, "b": 1})
+        assert not decision.is_skewed
+        assert decision.p_value == 1.0
+
+    def test_uniform_labels_not_skewed(self):
+        detector = SkewDetector()
+        decision = detector.evaluate({"a": 30, "b": 30, "c": 30})
+        assert not decision.is_skewed
+
+    def test_skewed_labels_detected(self):
+        detector = SkewDetector()
+        decision = detector.evaluate({"a": 80, "b": 5, "c": 3})
+        assert decision.is_skewed
+        assert decision.test == "anderson-darling"
+
+    def test_frequency_mode(self):
+        detector = SkewDetector(ALMConfig(skew_test="frequency"))
+        decision = detector.evaluate({"a": 80, "b": 5, "c": 3})
+        assert decision.test == "frequency"
+        assert decision.is_skewed
+
+    def test_frequency_mode_counts_unlabeled_classes(self):
+        detector = SkewDetector(ALMConfig(skew_test="frequency"))
+        # 3 observed classes but a 10-class vocabulary: the missing classes
+        # have zero counts, which the frequency test treats as strong skew
+        # once enough labels have accumulated.
+        decision = detector.evaluate({"a": 60, "b": 60, "c": 60}, num_known_classes=10)
+        assert decision.is_skewed
+
+    def test_decision_records_counts(self):
+        detector = SkewDetector()
+        decision = detector.evaluate({"a": 50, "b": 5})
+        assert decision.num_labels == 55
+        assert decision.num_classes == 2
+
+    def test_single_class_not_evaluated(self):
+        detector = SkewDetector()
+        decision = detector.evaluate({"a": 50})
+        assert not decision.is_skewed

@@ -1,0 +1,76 @@
+"""Tests for the oracle users."""
+
+import pytest
+
+from repro.core.oracle import NoisyOracleUser, OracleUser
+from repro.types import ClipSpec
+
+from tests.conftest import make_corpus
+
+
+@pytest.fixture
+def corpus():
+    return make_corpus(num_videos=12)
+
+
+class TestOracleUser:
+    def test_labels_match_ground_truth(self, corpus):
+        oracle = OracleUser(corpus)
+        for video in corpus.videos():
+            clip = ClipSpec(video.vid, 0.0, 1.0)
+            assert oracle.label_for(clip) == corpus.dominant_label(clip)
+
+    def test_label_clips_returns_parallel_labels(self, corpus):
+        oracle = OracleUser(corpus)
+        clips = [ClipSpec(v.vid, 0.0, 1.0) for v in corpus.videos()[:4]]
+        labels = oracle.label_clips(clips)
+        assert len(labels) == 4
+        for clip, label in zip(clips, labels):
+            assert label.vid == clip.vid
+            assert label.start == clip.start
+
+    def test_default_label_used_when_no_activity(self, corpus):
+        oracle = OracleUser(corpus, default_label="rest")
+        # The corpus covers every second with an activity, so fabricate a
+        # track-free scenario by overriding the lookup to an empty interval via
+        # a clip outside any segment is not possible here; instead check the
+        # configured default is stored.
+        assert oracle.default_label == "rest"
+
+    def test_default_label_falls_back_to_first_class(self, corpus):
+        assert OracleUser(corpus).default_label == corpus.class_names[0]
+
+    def test_labeling_time_stored(self, corpus):
+        assert OracleUser(corpus, labeling_time=7.5).labeling_time == 7.5
+
+
+class TestNoisyOracle:
+    def test_zero_noise_matches_clean_oracle(self, corpus):
+        clean = OracleUser(corpus)
+        noisy = NoisyOracleUser(corpus, noise_rate=0.0, seed=1)
+        clips = [ClipSpec(v.vid, 0.0, 1.0) for v in corpus.videos()]
+        assert [noisy.label_for(c) for c in clips] == [clean.label_for(c) for c in clips]
+
+    def test_full_noise_always_wrong(self, corpus):
+        noisy = NoisyOracleUser(corpus, noise_rate=1.0, seed=1)
+        for video in corpus.videos():
+            clip = ClipSpec(video.vid, 0.0, 1.0)
+            assert noisy.label_for(clip) != corpus.dominant_label(clip)
+
+    def test_noisy_labels_stay_in_vocabulary(self, corpus):
+        noisy = NoisyOracleUser(corpus, noise_rate=0.5, seed=2)
+        for video in corpus.videos():
+            assert noisy.label_for(ClipSpec(video.vid, 0.0, 1.0)) in corpus.class_names
+
+    def test_intermediate_noise_rate_flips_some_labels(self, corpus):
+        noisy = NoisyOracleUser(corpus, noise_rate=0.5, seed=3)
+        clean = OracleUser(corpus)
+        clips = [ClipSpec(v.vid, s, s + 1.0) for v in corpus.videos() for s in (0.0, 3.0, 6.0)]
+        flips = sum(
+            1 for clip in clips if noisy.label_for(clip) != clean.label_for(clip)
+        )
+        assert 0 < flips < len(clips)
+
+    def test_invalid_noise_rate_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            NoisyOracleUser(corpus, noise_rate=1.5)

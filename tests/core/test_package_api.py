@@ -1,0 +1,61 @@
+"""Tests for the package's public surface and exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestPackageExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_key_classes_importable_from_top_level(self):
+        assert repro.VOCALExplore is not None
+        assert repro.VocalExploreConfig is not None
+        assert repro.ClipSpec is not None
+
+    def test_subpackage_exports_resolve(self):
+        import repro.alm as alm
+        import repro.datasets as datasets
+        import repro.experiments as experiments
+        import repro.features as features
+        import repro.models as models
+        import repro.scheduler as scheduler
+        import repro.storage as storage
+        import repro.video as video
+
+        for module in (alm, datasets, experiments, features, models, scheduler, storage, video):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__} missing export {name}"
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        error_classes = [
+            getattr(exceptions, name)
+            for name in dir(exceptions)
+            if isinstance(getattr(exceptions, name), type)
+            and issubclass(getattr(exceptions, name), Exception)
+        ]
+        for error_class in error_classes:
+            if error_class is not exceptions.ReproError:
+                assert issubclass(error_class, exceptions.ReproError)
+
+    def test_subsystem_errors_are_distinguishable(self):
+        assert issubclass(exceptions.SchemaError, exceptions.StorageError)
+        assert issubclass(exceptions.UnknownVideoError, exceptions.VideoError)
+        assert issubclass(exceptions.MissingFeatureError, exceptions.FeatureError)
+        assert issubclass(exceptions.NotFittedError, exceptions.ModelError)
+        assert issubclass(exceptions.AcquisitionError, exceptions.ALMError)
+        assert issubclass(exceptions.TaskError, exceptions.SchedulerError)
+        assert not issubclass(exceptions.StorageError, exceptions.ModelError)
+
+    def test_catching_base_error_catches_subsystem_errors(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.InsufficientLabelsError("not enough labels")

@@ -1,0 +1,180 @@
+"""Tests for Zipf utilities, the synthetic dataset generator, and the catalog."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.catalog import DATASET_NAMES, all_dataset_specs, build_dataset, dataset_spec
+from repro.datasets.synthetic import DatasetSpec, generate_dataset
+from repro.datasets.zipf import imbalance_ratio, zipf_counts, zipf_probabilities
+from repro.exceptions import DatasetError
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one_and_decrease(self):
+        probabilities = zipf_probabilities(10, exponent=2.0)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert all(probabilities[i] >= probabilities[i + 1] for i in range(9))
+
+    def test_zero_exponent_is_uniform(self):
+        probabilities = zipf_probabilities(5, exponent=0.0)
+        np.testing.assert_allclose(probabilities, 0.2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            zipf_probabilities(0)
+        with pytest.raises(DatasetError):
+            zipf_probabilities(5, exponent=-1.0)
+
+    def test_counts_sum_to_total_and_respect_minimum(self):
+        counts = zipf_counts(20, 260, exponent=2.0, min_count=2)
+        assert sum(counts) == 260
+        assert min(counts) >= 2
+        assert counts[0] == max(counts)
+
+    def test_counts_total_too_small(self):
+        with pytest.raises(DatasetError):
+            zipf_counts(10, 5, min_count=1)
+
+    def test_imbalance_ratio(self):
+        assert imbalance_ratio([100, 10]) == pytest.approx(10.0)
+        with pytest.raises(DatasetError):
+            imbalance_ratio([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=60, max_value=500),
+        st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_counts_always_sum_to_total(self, k, total, exponent):
+        counts = zipf_counts(k, total, exponent=exponent, min_count=1)
+        assert sum(counts) == total
+        assert len(counts) == k
+
+
+class TestDatasetSpecValidation:
+    def test_probabilities_must_match_classes(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec("x", ("a", "b"), (1.0,), 10, 5)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec("x", ("a", "b"), (0.6, 0.6), 10, 5)
+
+    def test_positive_sizes_required(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec("x", ("a",), (1.0,), 0, 5)
+
+    def test_co_occurrence_bounds(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec("x", ("a", "b"), (0.5, 0.5), 10, 5, co_occurrence_rate=1.5)
+
+
+class TestGenerateDataset:
+    def spec(self):
+        return DatasetSpec(
+            name="toy",
+            class_names=("a", "b", "c"),
+            class_probabilities=(0.6, 0.3, 0.1),
+            num_train_videos=40,
+            num_eval_videos=20,
+            video_duration=6.0,
+            skewed=True,
+        )
+
+    def test_corpus_sizes_match_spec(self):
+        dataset = generate_dataset(self.spec(), seed=0)
+        assert len(dataset.train_corpus) == 40
+        assert len(dataset.eval_corpus) == 20
+
+    def test_every_class_present_in_training(self):
+        dataset = generate_dataset(self.spec(), seed=0)
+        counts = dataset.train_class_counts()
+        assert all(counts[name] >= 1 for name in ("a", "b", "c"))
+
+    def test_train_distribution_follows_probabilities(self):
+        dataset = generate_dataset(self.spec(), seed=1)
+        counts = dataset.train_class_counts()
+        assert counts["a"] > counts["c"]
+
+    def test_eval_corpus_is_balanced(self):
+        dataset = generate_dataset(self.spec(), seed=0)
+        clips, labels = dataset.eval_examples()
+        assert len(clips) == len(labels) == 20
+        counts = {name: labels.count(name) for name in set(labels)}
+        assert max(counts.values()) - min(counts.values()) <= 3
+
+    def test_generation_is_deterministic(self):
+        first = generate_dataset(self.spec(), seed=7)
+        second = generate_dataset(self.spec(), seed=7)
+        assert first.train_class_counts() == second.train_class_counts()
+
+    def test_different_seeds_differ(self):
+        first = generate_dataset(self.spec(), seed=1)
+        second = generate_dataset(self.spec(), seed=2)
+        assert first.train_class_counts() != second.train_class_counts()
+
+    def test_describe_row(self):
+        dataset = generate_dataset(self.spec(), seed=0)
+        row = dataset.describe()
+        assert row["dataset"] == "toy"
+        assert row["num_classes"] == 3
+        assert row["skew"] == "Skewed"
+
+
+class TestCatalog:
+    def test_all_six_datasets_defined(self):
+        assert set(DATASET_NAMES) == {"deer", "k20", "k20-skew", "charades", "bears", "bdd"}
+        assert len(all_dataset_specs()) == 6
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("imagenet")
+        with pytest.raises(DatasetError):
+            dataset_spec("deer", scale="huge")
+
+    def test_class_counts_match_table2(self):
+        assert len(dataset_spec("deer").class_names) == 9
+        assert len(dataset_spec("k20").class_names) == 20
+        assert len(dataset_spec("k20-skew").class_names) == 20
+        assert len(dataset_spec("charades").class_names) == 33
+        assert len(dataset_spec("bears").class_names) == 2
+        assert len(dataset_spec("bdd").class_names) == 6
+
+    def test_skew_flags_match_table2(self):
+        assert dataset_spec("deer").skewed
+        assert not dataset_spec("k20").skewed
+        assert dataset_spec("k20-skew").skewed
+        assert not dataset_spec("bears").skewed
+        assert dataset_spec("bdd").skewed
+
+    def test_paper_scale_sizes(self):
+        spec = dataset_spec("k20", scale="paper")
+        assert spec.num_train_videos == 13326
+        assert spec.num_eval_videos == 976
+
+    def test_correct_features_per_dataset(self):
+        assert set(dataset_spec("deer").correct_features) == {"r3d", "mvit"}
+        assert dataset_spec("k20-skew").correct_features == ("mvit",)
+        assert set(dataset_spec("bdd").correct_features) == {"clip", "clip_pooled"}
+
+    def test_random_feature_never_listed_as_correct(self):
+        for spec in all_dataset_specs():
+            assert "random" not in spec.correct_features
+            assert "random" not in spec.feature_qualities
+
+    def test_build_dataset_deer_skew_towards_bedded(self):
+        dataset = build_dataset("deer", seed=0)
+        counts = dataset.train_class_counts()
+        assert counts["bedded"] == max(counts.values())
+
+    def test_build_dataset_k20_uniformity(self):
+        dataset = build_dataset("k20", seed=0)
+        counts = list(dataset.train_class_counts().values())
+        assert max(counts) <= 3 * max(1, min(counts))
+
+    def test_k20_skew_is_zipfian(self):
+        dataset = build_dataset("k20-skew", seed=0)
+        counts = sorted(dataset.train_class_counts().values(), reverse=True)
+        assert counts[0] > 5 * max(1, counts[-1])

@@ -1,0 +1,47 @@
+"""Consistency tests for experiment-level constants and configuration."""
+
+from repro.datasets.catalog import DATASET_NAMES, dataset_spec
+from repro.experiments.acquisition import ACQUISITION_METHODS, BEST_FEATURE_BY_DATASET
+from repro.experiments.end_to_end import DEFAULT_FIG2_DATASETS
+from repro.experiments.scheduler_eval import DEFAULT_FIG8_DATASETS
+from repro.features.pretrained import DEFAULT_EXTRACTOR_NAMES
+
+
+class TestExperimentConstants:
+    def test_best_feature_defined_for_every_dataset(self):
+        assert set(BEST_FEATURE_BY_DATASET) == set(DATASET_NAMES)
+
+    def test_best_feature_is_a_known_extractor(self):
+        for feature in BEST_FEATURE_BY_DATASET.values():
+            assert feature in DEFAULT_EXTRACTOR_NAMES
+            assert feature != "random"
+
+    def test_best_feature_is_listed_as_correct_for_its_dataset(self):
+        for dataset, feature in BEST_FEATURE_BY_DATASET.items():
+            assert feature in dataset_spec(dataset).correct_features
+
+    def test_figure_dataset_lists_match_paper(self):
+        assert DEFAULT_FIG2_DATASETS == ("deer", "k20", "k20-skew")
+        assert DEFAULT_FIG8_DATASETS == ("deer", "k20", "k20-skew")
+
+    def test_acquisition_methods_cover_paper_figure3(self):
+        assert set(ACQUISITION_METHODS) == {
+            "random",
+            "coreset",
+            "cluster-margin",
+            "ve-sample",
+            "ve-sample-cm",
+            "freq",
+        }
+
+    def test_dynamic_methods_do_not_force_an_acquisition(self):
+        for name in ("ve-sample", "ve-sample-cm", "freq"):
+            assert ACQUISITION_METHODS[name]["force_acquisition"] is None
+
+    def test_fixed_methods_force_their_acquisition(self):
+        assert ACQUISITION_METHODS["random"]["force_acquisition"] == "random"
+        assert ACQUISITION_METHODS["coreset"]["force_acquisition"] == "coreset"
+        assert ACQUISITION_METHODS["cluster-margin"]["force_acquisition"] == "cluster-margin"
+
+    def test_frequency_method_uses_frequency_test(self):
+        assert ACQUISITION_METHODS["freq"]["skew_test"] == "frequency"

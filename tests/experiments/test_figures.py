@@ -1,0 +1,133 @@
+"""Smoke and shape tests for the per-figure experiment runners.
+
+These run each figure's experiment at a very small scale to verify the data
+shapes, the reported rows, and the qualitative relationships the benchmarks
+assert at a larger scale.
+"""
+
+import pytest
+
+from repro.experiments.acquisition import ACQUISITION_METHODS, run_acquisition_comparison
+from repro.experiments.end_to_end import run_end_to_end
+from repro.experiments.feature_quality import run_feature_quality
+from repro.experiments.feature_selection import (
+    bound_trace,
+    run_selection_trials,
+    run_ve_select_comparison,
+)
+from repro.experiments.label_noise import run_label_noise
+from repro.experiments.scheduler_eval import run_scheduler_comparison
+from repro.experiments.tables import dataset_statistics_rows, feature_extractor_rows
+
+
+class TestTables:
+    def test_table2_rows(self):
+        rows = dataset_statistics_rows()
+        assert len(rows) == 6
+        assert {row["dataset"] for row in rows} == {
+            "deer", "k20", "k20-skew", "charades", "bears", "bdd",
+        }
+
+    def test_table3_rows(self):
+        rows = feature_extractor_rows()
+        assert [row["feature"] for row in rows] == [
+            "r3d", "mvit", "clip", "clip_pooled", "random",
+        ]
+        assert all(row["throughput"] > 0 for row in rows)
+
+
+class TestFigure2:
+    def test_end_to_end_points(self, tiny_dataset):
+        result = run_end_to_end(
+            tiny_dataset, num_steps=3, lazy_pool_sizes=(10,), baseline_features=("r3d",)
+        )
+        methods = {point.method for point in result.points}
+        assert methods == {"random", "coreset-pp", "ve-lazy(X=10)", "ve-full"}
+        ve_full = result.ve_full_point()
+        coreset = next(p for p in result.points if p.method == "coreset-pp")
+        assert ve_full.cumulative_visible_latency < coreset.cumulative_visible_latency
+        assert len(result.rows()) == 4
+        assert "Figure 2" in result.format()
+
+
+class TestFigure3:
+    def test_acquisition_comparison_curves(self, tiny_dataset):
+        result = run_acquisition_comparison(
+            tiny_dataset, num_steps=3, methods=("random", "ve-sample-cm"), feature="r3d"
+        )
+        assert set(result.curves) == {"random", "ve-sample-cm"}
+        for curve in result.curves.values():
+            assert len(curve.f1) == 3
+            assert len(curve.smax) == 3
+            assert all(0.0 <= value <= 1.0 for value in curve.f1)
+            assert all(0.0 <= value <= 1.0 for value in curve.smax)
+
+    def test_all_methods_registered(self):
+        assert set(ACQUISITION_METHODS) == {
+            "random", "coreset", "cluster-margin", "ve-sample", "ve-sample-cm", "freq",
+        }
+
+
+class TestFigure4:
+    def test_feature_quality_rankings(self, tiny_dataset):
+        result = run_feature_quality(
+            tiny_dataset, num_steps=3, features=("r3d", "random"), include_concat=True
+        )
+        assert set(result.curves) == {"r3d", "random", "concat"}
+        assert result.best_feature() in {"r3d", "concat"}
+        ranking = result.ranking()
+        assert ranking[0] == result.best_feature()
+
+
+class TestTable4AndFigures56:
+    def test_selection_trials(self, tiny_dataset):
+        result = run_selection_trials(tiny_dataset, horizon=20, num_steps=8, seeds=(0,))
+        assert len(result.trials) == 1
+        assert 0.0 <= result.correctness <= 1.0
+        row = result.row()
+        assert row["dataset"] == "tiny"
+        assert row["horizon"] == 20
+
+    def test_bound_trace_shape(self, tiny_dataset):
+        rows = bound_trace(tiny_dataset, num_steps=5, horizon=20)
+        assert rows
+        assert {"step", "feature", "lower_bound", "upper_bound"} <= set(rows[0])
+        assert all(row["upper_bound"] >= row["lower_bound"] - 1e-9 for row in rows)
+
+
+class TestFigure7:
+    def test_ve_select_comparison(self, tiny_dataset):
+        result = run_ve_select_comparison(tiny_dataset, num_steps=3)
+        assert len(result.ve_select_f1) == 3
+        assert result.best_feature != result.worst_feature or len(result.best_f1) == 3
+        rows = result.rows()
+        assert {row["method"] for row in rows} == {"ve-select", "best", "worst", "ve-sample-best"}
+
+
+class TestFigure8:
+    def test_scheduler_comparison_points(self, tiny_dataset):
+        result = run_scheduler_comparison(
+            tiny_dataset, num_steps=3, lazy_pool_sizes=(10,), include_partial=False
+        )
+        variants = {point.variant for point in result.points}
+        assert variants == {"ve-lazy(PP)", "ve-lazy(X=10)", "ve-full"}
+        assert result.point("ve-full").cumulative_visible_latency < result.point(
+            "ve-lazy(PP)"
+        ).cumulative_visible_latency
+
+    def test_unknown_variant_lookup_returns_none(self, tiny_dataset):
+        result = run_scheduler_comparison(
+            tiny_dataset, num_steps=2, lazy_pool_sizes=(), include_partial=False
+        )
+        assert result.point("nonexistent") is None
+
+
+class TestFigure9:
+    def test_label_noise_curves(self, tiny_dataset):
+        result = run_label_noise(tiny_dataset, noise_rates=(0.0, 0.2), num_steps=3)
+        assert set(result.curves) == {0.0, 0.2}
+        assert result.best_feature
+        assert result.worst_feature
+        for curve in result.curves.values():
+            assert len(curve.f1) == 3
+        assert len(result.rows()) == 4

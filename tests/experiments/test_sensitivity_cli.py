@@ -1,0 +1,84 @@
+"""Tests for the hyperparameter-sensitivity sweep and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.sensitivity import DEFAULT_GRID, run_sensitivity_sweep
+
+
+class TestSensitivitySweep:
+    def test_sweep_covers_full_grid(self, tiny_dataset):
+        grid = {"smoothing_span": (3, 5), "slope_window": (5,), "horizon": (20,)}
+        result = run_sensitivity_sweep(tiny_dataset, grid=grid, num_steps=6, seeds=(0,))
+        assert len(result.cells) == 2
+        for cell in result.cells:
+            assert 0.0 <= cell.correctness <= 1.0
+            assert 0.0 <= cell.converged_fraction <= 1.0
+            assert cell.trials == 1
+        low, high = result.correctness_range()
+        assert 0.0 <= low <= high <= 1.0
+        assert "sensitivity" in result.format().lower()
+
+    def test_default_grid_matches_paper(self):
+        assert DEFAULT_GRID["smoothing_span"] == (3, 5, 7)
+        assert DEFAULT_GRID["slope_window"] == (5, 7)
+        assert DEFAULT_GRID["horizon"] == (20, 50)
+
+    def test_rows_contain_hyperparameters(self, tiny_dataset):
+        grid = {"smoothing_span": (5,), "slope_window": (5,), "horizon": (20,)}
+        result = run_sensitivity_sweep(tiny_dataset, grid=grid, num_steps=5, seeds=(0,))
+        row = result.rows()[0]
+        assert row["w"] == 5 and row["C"] == 5 and row["T"] == 20
+
+
+class TestCLIParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+        assert args.scale == "scaled"
+
+    def test_explore_arguments(self):
+        args = build_parser().parse_args(
+            ["explore", "--dataset", "k20-skew", "--steps", "7", "--strategy", "serial",
+             "--acquisition", "random", "--feature", "mvit"]
+        )
+        assert args.dataset == "k20-skew"
+        assert args.steps == 7
+        assert args.strategy == "serial"
+        assert args.acquisition == "random"
+        assert args.feature == "mvit"
+
+    def test_experiment_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--name", "fig99"])
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--dataset", "imagenet"])
+
+
+class TestCLIExecution:
+    def test_datasets_command_prints_table(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "k20-skew" in output
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "--name", "table3"]) == 0
+        output = capsys.readouterr().out
+        assert "r3d" in output and "throughput" in output
+
+    def test_explore_command_runs_small_session(self, capsys):
+        code = main(
+            ["explore", "--dataset", "bears", "--steps", "2", "--batch-size", "3",
+             "--feature", "clip", "--acquisition", "random", "--seed", "1"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cumulative visible latency" in output
+        assert "Exploration of bears" in output

@@ -1,0 +1,170 @@
+"""Tests for extractor specs, registry, and the simulated pretrained extractors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UnknownExtractorError
+from repro.features.extractor import ExtractorRegistry, ExtractorSpec
+from repro.features.pretrained import (
+    DEFAULT_EXTRACTOR_NAMES,
+    PRETRAINED_SPECS,
+    ConcatExtractor,
+    build_default_registry,
+    build_extractor,
+)
+from repro.types import ClipSpec
+from repro.video.activity import ActivitySegment, ActivityTrack
+from repro.video.corpus import VideoCorpus
+from repro.video.decoder import Decoder
+
+
+@pytest.fixture
+def corpus():
+    corpus = VideoCorpus(["a", "b", "c"], latent_dim=32, seed=4)
+    for i in range(12):
+        activity = ["a", "b", "c"][i % 3]
+        corpus.add_video(ActivityTrack(10.0, [ActivitySegment(0.0, 10.0, activity)]))
+    return corpus
+
+
+@pytest.fixture
+def decoder(corpus):
+    return Decoder(corpus)
+
+
+class TestExtractorSpec:
+    def test_table3_specs_present(self):
+        assert set(PRETRAINED_SPECS) == set(DEFAULT_EXTRACTOR_NAMES)
+        assert PRETRAINED_SPECS["r3d"].throughput == 4.03
+        assert PRETRAINED_SPECS["mvit"].dim == 768
+        assert PRETRAINED_SPECS["clip"].input_type == "image"
+        assert PRETRAINED_SPECS["random"].pretrained_on == "None"
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            ExtractorSpec("x", "audio", "arch", "corpus", 8, 1.0)
+        with pytest.raises(ValueError):
+            ExtractorSpec("x", "video", "arch", "corpus", 0, 1.0)
+        with pytest.raises(ValueError):
+            ExtractorSpec("x", "video", "arch", "corpus", 8, 0.0)
+
+
+class TestRegistry:
+    def test_register_and_get(self, corpus):
+        registry = ExtractorRegistry([build_extractor("r3d", corpus.latent_dim, 0.5)])
+        assert "r3d" in registry
+        assert registry.get("r3d").name == "r3d"
+        assert len(registry) == 1
+
+    def test_unknown_extractor_raises(self):
+        with pytest.raises(UnknownExtractorError):
+            ExtractorRegistry().get("nope")
+
+    def test_names_and_specs_ordered(self, corpus):
+        registry = build_default_registry(corpus.latent_dim, {}, seed=0)
+        assert registry.names() == list(DEFAULT_EXTRACTOR_NAMES)
+        assert [spec.name for spec in registry.specs()] == list(DEFAULT_EXTRACTOR_NAMES)
+
+    def test_include_concat(self, corpus):
+        registry = build_default_registry(corpus.latent_dim, {}, include_concat=True)
+        assert "concat" in registry
+        assert registry.get("concat").dim == sum(
+            PRETRAINED_SPECS[name].dim for name in DEFAULT_EXTRACTOR_NAMES
+        )
+
+    def test_reregistering_replaces(self, corpus):
+        registry = ExtractorRegistry()
+        registry.register(build_extractor("r3d", corpus.latent_dim, 0.2))
+        registry.register(build_extractor("r3d", corpus.latent_dim, 0.8))
+        assert registry.get("r3d").signal_quality == 0.8
+        assert len(registry) == 1
+
+
+class TestSimulatedExtractor:
+    def test_output_dimension_matches_spec(self, corpus, decoder):
+        for name in DEFAULT_EXTRACTOR_NAMES:
+            extractor = build_extractor(name, corpus.latent_dim, 0.5)
+            vector = extractor.extract(decoder.decode(ClipSpec(0, 0.0, 1.0)))
+            assert vector.shape == (PRETRAINED_SPECS[name].dim,)
+
+    def test_extraction_is_deterministic(self, corpus, decoder):
+        extractor = build_extractor("mvit", corpus.latent_dim, 0.5, seed=1)
+        decoded = decoder.decode(ClipSpec(0, 1.0, 2.0))
+        np.testing.assert_allclose(extractor.extract(decoded), extractor.extract(decoded))
+
+    def test_invalid_quality_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            build_extractor("r3d", corpus.latent_dim, 1.5)
+
+    def test_unknown_name_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            build_extractor("i3d", corpus.latent_dim, 0.5)
+
+    def test_random_extractor_forced_to_zero_quality(self, corpus):
+        registry = build_default_registry(corpus.latent_dim, {"random": 0.9})
+        assert registry.get("random").signal_quality == 0.0
+
+    def test_high_quality_separates_classes_better_than_zero_quality(self, corpus, decoder):
+        good = build_extractor("r3d", corpus.latent_dim, 0.8, seed=0)
+        bad = build_extractor("random", corpus.latent_dim, 0.0, seed=0)
+
+        def class_separation(extractor):
+            by_class = {}
+            for video in corpus.videos():
+                label = video.track.activities()[0]
+                vector = extractor.extract(decoder.decode(ClipSpec(video.vid, 0.0, 1.0)))
+                by_class.setdefault(label, []).append(vector)
+            centroids = {k: np.mean(v, axis=0) for k, v in by_class.items()}
+            within = np.mean(
+                [
+                    np.linalg.norm(vec - centroids[label])
+                    for label, vectors in by_class.items()
+                    for vec in vectors
+                ]
+            )
+            names = list(centroids)
+            between = np.mean(
+                [
+                    np.linalg.norm(centroids[a] - centroids[b])
+                    for i, a in enumerate(names)
+                    for b in names[i + 1:]
+                ]
+            )
+            return between / within
+
+        assert class_separation(good) > class_separation(bad)
+
+    def test_batch_extraction_matches_individual(self, corpus, decoder):
+        extractor = build_extractor("clip", corpus.latent_dim, 0.5)
+        decoded = [decoder.decode(ClipSpec(v, 0.0, 1.0)) for v in range(3)]
+        batch = extractor.extract_batch(decoded)
+        assert batch.shape == (3, extractor.dim)
+        np.testing.assert_allclose(batch[1], extractor.extract(decoded[1]))
+
+    def test_batch_extraction_empty(self, corpus):
+        extractor = build_extractor("clip", corpus.latent_dim, 0.5)
+        assert extractor.extract_batch([]).shape == (0, extractor.dim)
+
+
+class TestConcatExtractor:
+    def test_concat_dimension_is_sum(self, corpus, decoder):
+        components = [
+            build_extractor("r3d", corpus.latent_dim, 0.5),
+            build_extractor("clip", corpus.latent_dim, 0.5),
+        ]
+        concat = ConcatExtractor(components)
+        vector = concat.extract(decoder.decode(ClipSpec(0, 0.0, 1.0)))
+        assert vector.shape == (1024,)
+        assert concat.components == components
+
+    def test_concat_requires_components(self):
+        with pytest.raises(ValueError):
+            ConcatExtractor([])
+
+    def test_concat_throughput_slower_than_any_component(self, corpus):
+        components = [
+            build_extractor("r3d", corpus.latent_dim, 0.5),
+            build_extractor("mvit", corpus.latent_dim, 0.5),
+        ]
+        concat = ConcatExtractor(components)
+        assert concat.spec.throughput < min(c.spec.throughput for c in components)

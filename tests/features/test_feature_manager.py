@@ -1,0 +1,132 @@
+"""Tests for the extraction pipeline and Feature Manager."""
+
+import numpy as np
+import pytest
+
+from repro.features.feature_manager import FeatureManager
+from repro.features.pipeline import FeatureExtractionPipeline
+from repro.features.pretrained import build_default_registry
+from repro.storage.feature_store import FeatureStore
+from repro.storage.video_store import VideoStore
+from repro.types import ClipSpec
+from repro.video.decoder import Decoder
+from repro.video.sampler import ClipSampler
+
+from tests.conftest import make_corpus
+
+
+@pytest.fixture
+def setup():
+    corpus = make_corpus(num_videos=12)
+    videos = VideoStore()
+    videos.add_records(corpus.records())
+    registry = build_default_registry(corpus.latent_dim, {"r3d": 0.5, "clip": 0.3}, seed=0)
+    manager = FeatureManager(registry, Decoder(corpus), videos, FeatureStore(), ClipSampler())
+    return corpus, videos, registry, manager
+
+
+class TestPipeline:
+    def test_run_extracts_one_vector_per_clip(self, setup):
+        corpus, __, registry, manager = setup
+        pipeline = FeatureExtractionPipeline(Decoder(corpus))
+        clips = [ClipSpec(0, 0.0, 1.0), ClipSpec(1, 0.0, 1.0)]
+        features = pipeline.run(registry.get("r3d"), clips)
+        assert len(features) == 2
+        assert all(f.fid == "r3d" for f in features)
+        assert features[0].dim == 512
+
+    def test_run_empty_batch_is_noop(self, setup):
+        corpus, __, registry, __ = setup
+        pipeline = FeatureExtractionPipeline(Decoder(corpus))
+        assert pipeline.run(registry.get("r3d"), []) == []
+        assert pipeline.stats.pipelines_created == 0
+
+    def test_stats_accumulate(self, setup):
+        corpus, __, registry, __ = setup
+        pipeline = FeatureExtractionPipeline(Decoder(corpus))
+        pipeline.run(registry.get("r3d"), [ClipSpec(0, 0.0, 1.0)])
+        pipeline.run(registry.get("clip"), [ClipSpec(0, 0.0, 1.0), ClipSpec(1, 0.0, 1.0)])
+        assert pipeline.stats.pipelines_created == 2
+        assert pipeline.stats.clips_processed == 3
+        assert pipeline.stats.clips_by_extractor == {"r3d": 1, "clip": 2}
+
+
+class TestEnsureClipFeatures:
+    def test_extracts_missing_clips(self, setup):
+        __, __, __, manager = setup
+        clips = [ClipSpec(0, 0.5, 1.5), ClipSpec(1, 2.0, 3.0)]
+        report = manager.ensure_clip_features("r3d", clips)
+        assert report.extracted_clips == 2
+        assert report.videos_touched == 2
+        assert manager.store.count("r3d") == 2
+
+    def test_second_call_is_incremental(self, setup):
+        __, __, __, manager = setup
+        clips = [ClipSpec(0, 0.5, 1.5)]
+        manager.ensure_clip_features("r3d", clips)
+        report = manager.ensure_clip_features("r3d", clips)
+        assert report.extracted_clips == 0
+        assert report.skipped_clips == 1
+
+    def test_nearby_clip_covered_by_existing_window(self, setup):
+        __, __, __, manager = setup
+        manager.ensure_clip_features("r3d", [ClipSpec(0, 0.2, 1.2)])
+        count_before = manager.store.count("r3d")
+        # A clip whose midpoint falls inside the already-extracted window.
+        report = manager.ensure_clip_features("r3d", [ClipSpec(0, 0.4, 1.0)])
+        assert report.extracted_clips == 0
+        assert manager.store.count("r3d") == count_before
+
+
+class TestEnsureVideoFeatures:
+    def test_extracts_window_grid(self, setup):
+        corpus, videos, __, manager = setup
+        report = manager.ensure_video_features("r3d", [0, 1])
+        windows_per_video = len(manager.sampler.feature_windows(videos.get(0)))
+        assert report.videos_touched == 2
+        assert manager.store.count("r3d") == 2 * windows_per_video
+
+    def test_videos_with_features_skipped(self, setup):
+        __, __, __, manager = setup
+        manager.ensure_video_features("r3d", [0])
+        report = manager.ensure_video_features("r3d", [0, 1])
+        assert report.videos_touched == 1
+
+    def test_extract_all_covers_whole_corpus(self, setup):
+        corpus, __, __, manager = setup
+        report = manager.extract_all("clip")
+        assert report.videos_touched == len(corpus)
+        assert set(manager.vids_with_features("clip")) == set(corpus.vids())
+
+
+class TestAccess:
+    def test_matrix_extracts_on_demand(self, setup):
+        __, __, __, manager = setup
+        clips = [ClipSpec(0, 0.0, 1.0), ClipSpec(2, 4.0, 5.0)]
+        matrix = manager.matrix("r3d", clips)
+        assert matrix.shape == (2, 512)
+        assert np.all(np.isfinite(matrix))
+
+    def test_candidate_pool_returns_all_vectors(self, setup):
+        __, __, __, manager = setup
+        manager.ensure_video_features("r3d", [0, 1, 2])
+        clips, matrix = manager.candidate_pool("r3d")
+        assert len(clips) == matrix.shape[0]
+        assert matrix.shape[0] > 0
+
+    def test_feature_vectors_for_video(self, setup):
+        __, __, __, manager = setup
+        manager.ensure_video_features("r3d", [3])
+        vectors = manager.feature_vectors_for("r3d", 3)
+        assert vectors
+        assert all(v.vid == 3 and v.fid == "r3d" for v in vectors)
+
+    def test_extractor_names(self, setup):
+        __, __, __, manager = setup
+        assert "r3d" in manager.extractor_names()
+        assert manager.extractor("r3d").name == "r3d"
+
+    def test_pipeline_stats_exposed(self, setup):
+        __, __, __, manager = setup
+        manager.ensure_video_features("r3d", [0])
+        assert manager.pipeline_stats.pipelines_created >= 1

@@ -1,0 +1,101 @@
+"""Tests for extractor frame-pooling behaviour and quality monotonicity."""
+
+import numpy as np
+import pytest
+
+from repro.features.pretrained import SimulatedExtractor, PRETRAINED_SPECS, build_extractor
+from repro.types import ClipSpec
+from repro.video.activity import ActivitySegment, ActivityTrack
+from repro.video.corpus import VideoCorpus
+from repro.video.decoder import Decoder
+
+
+@pytest.fixture
+def corpus():
+    corpus = VideoCorpus(["a", "b"], latent_dim=32, seed=9, temporal_noise=0.8)
+    for i in range(16):
+        activity = "a" if i % 2 == 0 else "b"
+        corpus.add_video(ActivityTrack(10.0, [ActivitySegment(0.0, 10.0, activity)]))
+    return corpus
+
+
+@pytest.fixture
+def decoder(corpus):
+    return Decoder(corpus)
+
+
+class TestPoolingModes:
+    def test_invalid_pooling_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedExtractor(PRETRAINED_SPECS["r3d"], latent_dim=32, signal_quality=0.5,
+                               pooling="median")
+
+    def test_clip_uses_middle_frame_only(self, corpus, decoder):
+        """CLIP's single-frame embedding ignores every frame but the middle one."""
+        extractor = build_extractor("clip", corpus.latent_dim, 0.9, seed=0)
+        decoded = decoder.decode(ClipSpec(0, 0.0, 1.0))
+        vector = extractor.extract(decoded)
+        # Re-extract from a synthetic DecodedClip whose non-middle frames are
+        # replaced by garbage: the middle-frame extractor must be unaffected.
+        from repro.video.decoder import DecodedClip
+
+        corrupted_frames = decoded.frames.copy()
+        middle = decoded.num_frames // 2
+        corrupted_frames[: middle] = 1e3
+        corrupted_frames[middle + 1:] = -1e3
+        corrupted = DecodedClip(clip=decoded.clip, frames=corrupted_frames, fps=decoded.fps)
+        np.testing.assert_allclose(extractor.extract(corrupted), vector)
+
+    def test_video_models_average_over_frames(self, corpus, decoder):
+        """Mean-pooling extractors do react to changes away from the middle frame."""
+        extractor = build_extractor("r3d", corpus.latent_dim, 0.9, seed=0)
+        decoded = decoder.decode(ClipSpec(0, 0.0, 1.0))
+        from repro.video.decoder import DecodedClip
+
+        corrupted_frames = decoded.frames.copy()
+        corrupted_frames[0] += 50.0
+        corrupted = DecodedClip(clip=decoded.clip, frames=corrupted_frames, fps=decoded.fps)
+        assert not np.allclose(extractor.extract(corrupted), extractor.extract(decoded))
+
+    def test_pooled_clip_differs_from_single_frame_clip(self, corpus, decoder):
+        single = build_extractor("clip", corpus.latent_dim, 0.7, seed=0)
+        pooled = build_extractor("clip_pooled", corpus.latent_dim, 0.7, seed=0)
+        decoded = decoder.decode(ClipSpec(0, 0.0, 1.0))
+        assert not np.allclose(single.extract(decoded), pooled.extract(decoded))
+
+    def test_embedding_norm_is_scaled_to_sqrt_dim(self, corpus, decoder):
+        extractor = build_extractor("mvit", corpus.latent_dim, 0.6, seed=0)
+        vector = extractor.extract(decoder.decode(ClipSpec(0, 0.0, 1.0)))
+        assert np.linalg.norm(vector) == pytest.approx(np.sqrt(extractor.dim))
+
+
+class TestQualityMonotonicity:
+    def _separation(self, extractor, corpus, decoder):
+        by_class = {}
+        for video in corpus.videos():
+            label = video.track.activities()[0]
+            vector = extractor.extract(decoder.decode(ClipSpec(video.vid, 0.0, 1.0)))
+            by_class.setdefault(label, []).append(vector)
+        centroids = {k: np.mean(v, axis=0) for k, v in by_class.items()}
+        within = np.mean([
+            np.linalg.norm(vec - centroids[label])
+            for label, vectors in by_class.items()
+            for vec in vectors
+        ])
+        between = np.linalg.norm(centroids["a"] - centroids["b"])
+        return between / within
+
+    def test_higher_quality_gives_better_class_separation(self, corpus, decoder):
+        separations = [
+            self._separation(build_extractor("mvit", corpus.latent_dim, q, seed=1), corpus, decoder)
+            for q in (0.1, 0.4, 0.8)
+        ]
+        assert separations[0] < separations[1] < separations[2]
+
+    def test_zero_quality_has_no_class_signal(self, corpus, decoder):
+        separation = self._separation(
+            build_extractor("random", corpus.latent_dim, 0.0, seed=1), corpus, decoder
+        )
+        # between/within ratio near or below ~1 means centroids are not separated
+        # beyond the within-class spread.
+        assert separation < 1.0

@@ -1,0 +1,152 @@
+"""Tests for the Model Manager."""
+
+import pytest
+
+from repro.exceptions import InsufficientLabelsError, ModelError
+from repro.types import ClipSpec, Label
+
+
+def add_labels(storage, corpus, count, start_index=0):
+    """Label the first ``count`` videos (from start_index) with their true class."""
+    videos = corpus.videos()[start_index : start_index + count]
+    for video in videos:
+        clip = ClipSpec(video.vid, 0.0, 1.0)
+        storage.labels.add(Label(video.vid, 0.0, 1.0, corpus.dominant_label(clip)))
+    return videos
+
+
+class TestTraining:
+    def test_cannot_train_without_labels(self, managed_stack):
+        __, __, model_manager = managed_stack
+        assert not model_manager.can_train()
+        with pytest.raises(InsufficientLabelsError):
+            model_manager.train("r3d")
+
+    def test_cannot_train_with_single_class(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        video = small_corpus.videos()[0]
+        storage.labels.add(Label(video.vid, 0.0, 1.0, "walk"))
+        storage.labels.add(Label(video.vid, 1.0, 2.0, "walk"))
+        assert not model_manager.can_train()
+
+    def test_train_registers_model(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        add_labels(storage, small_corpus, 9)
+        info = model_manager.train("r3d", at_time=12.5)
+        assert info.feature_name == "r3d"
+        assert info.version == 1
+        assert info.num_labels == 9
+        assert info.created_at == 12.5
+        assert model_manager.has_model("r3d")
+
+    def test_train_if_possible_returns_none_without_labels(self, managed_stack):
+        __, __, model_manager = managed_stack
+        assert model_manager.train_if_possible("r3d") is None
+
+    def test_retraining_bumps_version(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        add_labels(storage, small_corpus, 6)
+        model_manager.train("r3d")
+        add_labels(storage, small_corpus, 6, start_index=6)
+        info = model_manager.train("r3d")
+        assert info.version == 2
+        assert info.num_labels == 12
+
+    def test_label_limit_restricts_training_set(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        add_labels(storage, small_corpus, 12)
+        info = model_manager.train("r3d", label_limit=6)
+        assert info.num_labels == 6
+
+    def test_label_limit_single_class_refuses(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        add_labels(storage, small_corpus, 12)
+        # The first label alone covers one class only.
+        assert model_manager.train_if_possible("r3d", label_limit=1) is None
+
+    def test_models_per_feature_are_independent(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        add_labels(storage, small_corpus, 9)
+        model_manager.train("r3d")
+        assert model_manager.has_model("r3d")
+        assert not model_manager.has_model("clip")
+
+
+class TestServing:
+    def test_latest_model_missing_raises(self, managed_stack):
+        __, __, model_manager = managed_stack
+        with pytest.raises(ModelError):
+            model_manager.latest_model("r3d")
+
+    def test_predict_clips(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        add_labels(storage, small_corpus, 12)
+        model_manager.train("r3d")
+        clips = [ClipSpec(v.vid, 4.0, 5.0) for v in small_corpus.videos()[12:16]]
+        predictions = model_manager.predict_clips("r3d", clips)
+        assert len(predictions) == 4
+        for clip, prediction in zip(clips, predictions):
+            assert prediction.vid == clip.vid
+            assert prediction.feature_name == "r3d"
+            assert set(prediction.probabilities) == {"walk", "eat", "rest"}
+            assert sum(prediction.probabilities.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_predict_clips_empty(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        add_labels(storage, small_corpus, 9)
+        model_manager.train("r3d")
+        assert model_manager.predict_clips("r3d", []) == []
+
+    def test_predictions_better_than_chance(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        add_labels(storage, small_corpus, 18)
+        model_manager.train("r3d")
+        clips = [ClipSpec(v.vid, 4.0, 5.0) for v in small_corpus.videos()[18:]]
+        truth = [small_corpus.dominant_label(c) for c in clips]
+        predictions = model_manager.predict_clips("r3d", clips)
+        correct = sum(1 for p, t in zip(predictions, truth) if p.top_label == t)
+        assert correct / len(truth) > 1.0 / 3.0
+
+
+class TestEvaluation:
+    def test_evaluate_on_heldout_clips(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        add_labels(storage, small_corpus, 18)
+        model_manager.train("r3d")
+        clips = [ClipSpec(v.vid, 4.0, 5.0) for v in small_corpus.videos()[18:]]
+        truth = [small_corpus.dominant_label(c) for c in clips]
+        f1 = model_manager.evaluate("r3d", clips, truth)
+        assert 0.0 <= f1 <= 1.0
+        assert f1 > 0.3
+
+    def test_evaluate_empty_set(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        add_labels(storage, small_corpus, 9)
+        model_manager.train("r3d")
+        assert model_manager.evaluate("r3d", [], []) == 0.0
+
+    def test_evaluate_length_mismatch(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        add_labels(storage, small_corpus, 9)
+        model_manager.train("r3d")
+        with pytest.raises(ModelError):
+            model_manager.evaluate("r3d", [ClipSpec(0, 0.0, 1.0)], [])
+
+    def test_cross_validate(self, managed_stack, small_corpus):
+        storage, __, model_manager = managed_stack
+        add_labels(storage, small_corpus, 18)
+        result = model_manager.cross_validate("r3d")
+        assert 0.0 <= result.mean_f1 <= 1.0
+        assert result.num_examples == 18
+
+    def test_cross_validate_without_labels(self, managed_stack):
+        __, __, model_manager = managed_stack
+        with pytest.raises(InsufficientLabelsError):
+            model_manager.cross_validate("r3d")
+
+    def test_vocabulary_required(self, managed_stack):
+        from repro.models.model_manager import ModelManager
+
+        storage, feature_manager, __ = managed_stack
+        with pytest.raises(ModelError):
+            ModelManager(feature_manager, storage.labels, storage.models, [])

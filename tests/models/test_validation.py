@@ -1,0 +1,93 @@
+"""Tests for cross-validation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InsufficientLabelsError
+from repro.models.validation import cross_validate_macro_f1, stratified_folds
+
+
+def make_data(n_per_class=12, num_classes=3, dim=8, seed=0, spread=4.0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_classes, dim)) * spread
+    features, labels = [], []
+    for index in range(num_classes):
+        features.append(centers[index] + rng.standard_normal((n_per_class, dim)))
+        labels.extend([f"c{index}"] * n_per_class)
+    return np.vstack(features), labels
+
+
+class TestStratifiedFolds:
+    def test_folds_partition_examples(self):
+        labels = ["a"] * 9 + ["b"] * 6
+        folds = stratified_folds(labels, 3, np.random.default_rng(0))
+        all_indices = sorted(np.concatenate(folds).tolist())
+        assert all_indices == list(range(15))
+
+    def test_each_fold_contains_each_class(self):
+        labels = ["a"] * 9 + ["b"] * 9
+        folds = stratified_folds(labels, 3, np.random.default_rng(0))
+        for fold in folds:
+            fold_labels = {labels[i] for i in fold}
+            assert fold_labels == {"a", "b"}
+
+    def test_minimum_two_folds(self):
+        with pytest.raises(InsufficientLabelsError):
+            stratified_folds(["a", "b"], 1, np.random.default_rng(0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=6, max_size=60),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_partition_property(self, labels, num_folds):
+        folds = stratified_folds(labels, num_folds, np.random.default_rng(1))
+        flattened = sorted(np.concatenate(folds).tolist()) if folds else []
+        assert flattened == list(range(len(labels)))
+
+
+class TestCrossValidation:
+    def test_separable_data_scores_high(self):
+        features, labels = make_data()
+        result = cross_validate_macro_f1(features, labels, num_folds=3)
+        assert result.mean_f1 > 0.8
+        assert len(result.fold_scores) == 3
+        assert result.classes_evaluated == ("c0", "c1", "c2")
+
+    def test_random_labels_score_low(self):
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((60, 8))
+        labels = [f"c{i % 3}" for i in range(60)]
+        result = cross_validate_macro_f1(features, labels, num_folds=3)
+        assert result.mean_f1 < 0.6
+
+    def test_rare_classes_excluded(self):
+        features, labels = make_data(n_per_class=10, num_classes=2)
+        features = np.vstack([features, np.zeros((1, features.shape[1]))])
+        labels = labels + ["rare"]
+        result = cross_validate_macro_f1(features, labels, min_labels_per_class=3)
+        assert "rare" not in result.classes_evaluated
+        assert result.num_examples == 20
+
+    def test_single_class_rejected(self):
+        features = np.zeros((10, 4))
+        labels = ["a"] * 10
+        with pytest.raises(InsufficientLabelsError):
+            cross_validate_macro_f1(features, labels)
+
+    def test_too_few_labels_per_class_rejected(self):
+        features = np.zeros((4, 4))
+        labels = ["a", "a", "b", "b"]
+        with pytest.raises(InsufficientLabelsError):
+            cross_validate_macro_f1(features, labels, min_labels_per_class=3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InsufficientLabelsError):
+            cross_validate_macro_f1(np.zeros((3, 2)), ["a", "b"])
+
+    def test_scores_bounded(self):
+        features, labels = make_data(seed=3)
+        result = cross_validate_macro_f1(features, labels)
+        assert all(0.0 <= score <= 1.0 for score in result.fold_scores)
+        assert 0.0 <= result.mean_f1 <= 1.0

@@ -1,0 +1,161 @@
+"""Tests for the simulated clock, task objects, and cost model."""
+
+import pytest
+
+from repro.exceptions import SchedulerError, TaskError
+from repro.features.pretrained import PRETRAINED_SPECS
+from repro.scheduler.clock import SimulatedClock
+from repro.scheduler.cost_model import CostModel
+from repro.scheduler.strategies import (
+    SERIAL,
+    VE_FULL,
+    VE_PARTIAL,
+    strategy_behaviour,
+)
+from repro.scheduler.tasks import Task, TaskKind, TaskPriority
+from repro.config import SchedulerConfig
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(SchedulerError):
+            SimulatedClock().advance(-1.0)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = SimulatedClock(start=5.0)
+        clock.advance_to(3.0)
+        assert clock.now == 5.0
+        clock.advance_to(8.0)
+        assert clock.now == 8.0
+
+
+class TestTask:
+    def test_default_priority_by_kind(self):
+        training = Task(TaskKind.MODEL_TRAINING, 1.0)
+        eager = Task(TaskKind.EAGER_FEATURE_EXTRACTION, 1.0)
+        assert training.priority == TaskPriority.MODEL_TRAINING
+        assert eager.priority == TaskPriority.EAGER
+        assert training.priority < eager.priority
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TaskError):
+            Task("napping", 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(TaskError):
+            Task(TaskKind.MODEL_TRAINING, -1.0)
+
+    def test_partial_work_and_completion(self):
+        task = Task(TaskKind.MODEL_TRAINING, 3.0)
+        assert task.work(1.0) == 1.0
+        assert task.started and not task.finished
+        assert task.work(5.0) == 2.0
+        assert task.finished
+
+    def test_complete_before_finished_rejected(self):
+        task = Task(TaskKind.MODEL_TRAINING, 3.0)
+        with pytest.raises(TaskError):
+            task.complete(0.0)
+
+    def test_complete_runs_action_with_timestamp(self):
+        seen = []
+        task = Task(TaskKind.MODEL_TRAINING, 1.0, action=seen.append)
+        task.work(1.0)
+        record = task.complete(12.0)
+        assert seen == [12.0]
+        assert record.kind == TaskKind.MODEL_TRAINING
+        assert record.completed_at == 12.0
+
+    def test_negative_work_rejected(self):
+        task = Task(TaskKind.MODEL_TRAINING, 1.0)
+        with pytest.raises(TaskError):
+            task.work(-0.5)
+
+
+class TestCostModel:
+    def test_video_extraction_time_follows_throughput(self):
+        cost = CostModel()
+        r3d = cost.video_extraction_time(PRETRAINED_SPECS["r3d"], 10.0)
+        mvit = cost.video_extraction_time(PRETRAINED_SPECS["mvit"], 10.0)
+        assert r3d == pytest.approx(1 / 4.03)
+        assert mvit == pytest.approx(1 / 2.93)
+        # Longer videos cost proportionally more.
+        assert cost.video_extraction_time(PRETRAINED_SPECS["r3d"], 20.0) == pytest.approx(2 / 4.03)
+
+    def test_video_extraction_invalid_duration(self):
+        with pytest.raises(SchedulerError):
+            CostModel().video_extraction_time(PRETRAINED_SPECS["r3d"], 0.0)
+
+    def test_batch_time_includes_pipeline_setup(self):
+        cost = CostModel(pipeline_setup_time=2.0)
+        total = cost.extraction_batch_time(PRETRAINED_SPECS["r3d"], 5, 10.0)
+        assert total == pytest.approx(2.0 + 5 / 4.03)
+        assert cost.extraction_batch_time(PRETRAINED_SPECS["r3d"], 0, 10.0) == 0.0
+
+    def test_inference_and_selection_costs(self):
+        cost = CostModel()
+        assert cost.inference_time(5) == pytest.approx(5 * cost.inference_time_per_clip)
+        assert cost.selection_time(5, active=False) < cost.selection_time(5, active=True)
+
+    def test_training_and_evaluation_grow_with_labels(self):
+        cost = CostModel()
+        assert cost.training_time(100) > cost.training_time(10)
+        assert cost.evaluation_time(100) > cost.evaluation_time(10)
+        # Feature evaluation (k-fold) costs more than a single training run.
+        assert cost.evaluation_time(50) > cost.training_time(50) * 0.5
+
+    def test_feature_extraction_dwarfs_inference(self):
+        cost = CostModel()
+        extraction = cost.video_extraction_time(PRETRAINED_SPECS["mvit"], 10.0)
+        assert extraction > 5 * cost.inference_time_per_clip
+
+    def test_jit_offset_matches_paper_formula(self):
+        cost = CostModel(training_base_time=1.0, training_time_per_label=0.02)
+        # T_m for 50 labels = 2.0 s, T_user = 10 s -> ceil(2/10) = 1 label
+        # before the end, so training starts after B - 1 = 4 labels.
+        offset = cost.jit_training_offset(batch_size=5, user_labeling_time=10.0, num_labels=50)
+        assert offset == pytest.approx(40.0)
+
+    def test_jit_offset_long_training_starts_immediately(self):
+        cost = CostModel(training_base_time=100.0)
+        offset = cost.jit_training_offset(batch_size=5, user_labeling_time=10.0, num_labels=10)
+        assert offset == 0.0
+
+    def test_jit_offset_zero_user_time(self):
+        assert CostModel().jit_training_offset(5, 0.0, 10) == 0.0
+
+
+class TestStrategyBehaviour:
+    def test_serial_is_fully_synchronous(self):
+        behaviour = strategy_behaviour(SERIAL)
+        assert behaviour.synchronous_training
+        assert behaviour.synchronous_evaluation
+        assert not behaviour.eager_extraction
+        assert behaviour.is_serial
+
+    def test_partial_defers_training(self):
+        behaviour = strategy_behaviour(VE_PARTIAL)
+        assert not behaviour.synchronous_training
+        assert behaviour.jit_training
+        assert not behaviour.eager_extraction
+
+    def test_full_adds_eager_extraction(self):
+        behaviour = strategy_behaviour(VE_FULL)
+        assert behaviour.eager_extraction
+        assert not behaviour.synchronous_training
+
+    def test_resolves_from_config(self):
+        behaviour = strategy_behaviour(SchedulerConfig(strategy="serial"))
+        assert behaviour.name == SERIAL
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SchedulerError):
+            strategy_behaviour("warp-speed")

@@ -1,0 +1,101 @@
+"""Tests for the predicate-expression DSL."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.storage.expressions import BooleanOp, Comparison, col, lit
+
+
+@pytest.fixture
+def columns():
+    return {
+        "vid": np.array([0, 1, 2, 3, 4]),
+        "duration": np.array([5.0, 10.0, 15.0, 20.0, 25.0]),
+        "label": np.array(["a", "b", "a", "c", "b"], dtype=object),
+    }
+
+
+class TestComparisons:
+    def test_equality_against_literal(self, columns):
+        mask = (col("label") == "a").evaluate(columns)
+        assert mask.tolist() == [True, False, True, False, False]
+
+    def test_inequality(self, columns):
+        mask = (col("label") != "a").evaluate(columns)
+        assert mask.tolist() == [False, True, False, True, True]
+
+    def test_less_than(self, columns):
+        mask = (col("duration") < 15.0).evaluate(columns)
+        assert mask.tolist() == [True, True, False, False, False]
+
+    def test_less_equal(self, columns):
+        mask = (col("duration") <= 15.0).evaluate(columns)
+        assert mask.tolist() == [True, True, True, False, False]
+
+    def test_greater_than(self, columns):
+        mask = (col("vid") > 2).evaluate(columns)
+        assert mask.tolist() == [False, False, False, True, True]
+
+    def test_greater_equal(self, columns):
+        mask = (col("vid") >= 2).evaluate(columns)
+        assert mask.tolist() == [False, False, True, True, True]
+
+    def test_column_vs_column(self, columns):
+        enriched = dict(columns)
+        enriched["threshold"] = np.array([6.0, 6.0, 6.0, 30.0, 30.0])
+        mask = (col("duration") > col("threshold")).evaluate(enriched)
+        assert mask.tolist() == [False, True, True, False, False]
+
+    def test_unknown_column_raises(self, columns):
+        with pytest.raises(SchemaError):
+            (col("missing") == 1).evaluate(columns)
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(SchemaError):
+            Comparison(col("a"), lit(1), "<>")
+
+
+class TestBooleanOps:
+    def test_and(self, columns):
+        expr = (col("duration") > 5.0) & (col("label") == "a")
+        assert expr.evaluate(columns).tolist() == [False, False, True, False, False]
+
+    def test_or(self, columns):
+        expr = (col("vid") == 0) | (col("vid") == 4)
+        assert expr.evaluate(columns).tolist() == [True, False, False, False, True]
+
+    def test_not(self, columns):
+        expr = ~(col("label") == "a")
+        assert expr.evaluate(columns).tolist() == [False, True, False, True, True]
+
+    def test_nested_combination(self, columns):
+        expr = ((col("duration") >= 10.0) & (col("duration") <= 20.0)) | (col("label") == "b")
+        assert expr.evaluate(columns).tolist() == [False, True, True, True, True]
+
+    def test_invalid_boolean_operator_rejected(self):
+        with pytest.raises(SchemaError):
+            BooleanOp(col("a") == 1, col("b") == 2, "xor")
+
+
+class TestMembership:
+    def test_isin(self, columns):
+        expr = col("label").isin(["a", "c"])
+        assert expr.evaluate(columns).tolist() == [True, False, True, True, False]
+
+    def test_isin_empty_collection(self, columns):
+        expr = col("label").isin([])
+        assert expr.evaluate(columns).tolist() == [False] * 5
+
+    def test_isin_numeric(self, columns):
+        expr = col("vid").isin([1, 3])
+        assert expr.evaluate(columns).tolist() == [False, True, False, True, False]
+
+
+class TestLiterals:
+    def test_literal_evaluates_to_value(self, columns):
+        assert lit(42).evaluate(columns) == 42
+
+    def test_repr_forms(self):
+        assert "col('vid')" in repr(col("vid") == 3)
+        assert "lit(3)" in repr(col("vid") == 3)

@@ -1,0 +1,140 @@
+"""Tests for the feature-vector store."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MissingFeatureError
+from repro.storage.feature_store import FeatureStore
+from repro.types import ClipSpec, FeatureVector
+
+
+def feature(fid="r3d", vid=0, start=0.0, end=1.0, value=1.0, dim=8):
+    return FeatureVector(fid=fid, vid=vid, start=start, end=end, vector=np.full(dim, value))
+
+
+class TestFeatureStoreWrites:
+    def test_add_new_feature(self):
+        store = FeatureStore()
+        assert store.add(feature()) is True
+        assert store.count("r3d") == 1
+
+    def test_add_duplicate_clip_ignored(self):
+        store = FeatureStore()
+        store.add(feature(value=1.0))
+        assert store.add(feature(value=2.0)) is False
+        assert store.count("r3d") == 1
+        np.testing.assert_allclose(store.get("r3d", ClipSpec(0, 0.0, 1.0)), np.ones(8))
+
+    def test_add_many_counts_new_only(self):
+        store = FeatureStore()
+        added = store.add_many([feature(), feature(vid=1), feature()])
+        assert added == 2
+
+    def test_extractors_listed(self):
+        store = FeatureStore()
+        store.add(feature(fid="r3d"))
+        store.add(feature(fid="clip"))
+        assert set(store.extractors()) == {"r3d", "clip"}
+
+
+class TestFeatureStoreReads:
+    def test_get_exact_clip(self):
+        store = FeatureStore()
+        store.add(feature(vid=2, start=3.0, end=4.0, value=5.0))
+        np.testing.assert_allclose(store.get("r3d", ClipSpec(2, 3.0, 4.0)), np.full(8, 5.0))
+
+    def test_get_missing_extractor(self):
+        with pytest.raises(MissingFeatureError):
+            FeatureStore().get("r3d", ClipSpec(0, 0.0, 1.0))
+
+    def test_get_missing_clip(self):
+        store = FeatureStore()
+        store.add(feature())
+        with pytest.raises(MissingFeatureError):
+            store.get("r3d", ClipSpec(0, 5.0, 6.0))
+
+    def test_has_and_has_any_for_video(self):
+        store = FeatureStore()
+        store.add(feature(vid=1, start=2.0, end=3.0))
+        assert store.has("r3d", ClipSpec(1, 2.0, 3.0))
+        assert not store.has("r3d", ClipSpec(1, 0.0, 1.0))
+        assert store.has_any_for_video("r3d", 1)
+        assert not store.has_any_for_video("r3d", 2)
+        assert not store.has_any_for_video("clip", 1)
+
+    def test_nearest_picks_closest_midpoint(self):
+        store = FeatureStore()
+        store.add(feature(vid=0, start=0.0, end=1.0, value=1.0))
+        store.add(feature(vid=0, start=5.0, end=6.0, value=2.0))
+        clip, vector = store.get_nearest("r3d", ClipSpec(0, 4.4, 4.6))
+        assert clip == ClipSpec(0, 5.0, 6.0)
+        np.testing.assert_allclose(vector, np.full(8, 2.0))
+
+    def test_nearest_requires_same_video(self):
+        store = FeatureStore()
+        store.add(feature(vid=0))
+        with pytest.raises(MissingFeatureError):
+            store.get_nearest("r3d", ClipSpec(1, 0.0, 1.0))
+
+    def test_clips_for_video_filter(self):
+        store = FeatureStore()
+        store.add(feature(vid=0, start=0.0, end=1.0))
+        store.add(feature(vid=0, start=1.0, end=2.0))
+        store.add(feature(vid=1, start=0.0, end=1.0))
+        assert len(store.clips_for("r3d")) == 3
+        assert len(store.clips_for("r3d", vid=0)) == 2
+        assert store.clips_for("clip") == []
+
+    def test_vids_with_features(self):
+        store = FeatureStore()
+        store.add(feature(vid=4))
+        store.add(feature(vid=9))
+        assert set(store.vids_with_features("r3d")) == {4, 9}
+        assert store.vids_with_features("clip") == []
+
+
+class TestMatrixAccess:
+    def test_matrix_exact_rows(self):
+        store = FeatureStore()
+        store.add(feature(vid=0, value=1.0))
+        store.add(feature(vid=1, value=2.0))
+        matrix = store.matrix("r3d", [ClipSpec(1, 0.0, 1.0), ClipSpec(0, 0.0, 1.0)])
+        assert matrix.shape == (2, 8)
+        np.testing.assert_allclose(matrix[0], np.full(8, 2.0))
+        np.testing.assert_allclose(matrix[1], np.full(8, 1.0))
+
+    def test_matrix_falls_back_to_nearest(self):
+        store = FeatureStore()
+        store.add(feature(vid=0, start=0.0, end=1.0, value=3.0))
+        matrix = store.matrix("r3d", [ClipSpec(0, 0.25, 0.75)])
+        np.testing.assert_allclose(matrix[0], np.full(8, 3.0))
+
+    def test_all_vectors(self):
+        store = FeatureStore()
+        store.add(feature(vid=0, value=1.0))
+        store.add(feature(vid=1, value=2.0))
+        clips, matrix = store.all_vectors("r3d")
+        assert len(clips) == 2
+        assert matrix.shape == (2, 8)
+
+    def test_all_vectors_empty(self):
+        clips, matrix = FeatureStore().all_vectors("r3d")
+        assert clips == []
+        assert matrix.size == 0
+
+
+class TestFeatureStorePersistence:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        store = FeatureStore()
+        store.add(feature(fid="r3d", vid=0, value=1.5))
+        store.add(feature(fid="clip", vid=1, start=2.0, end=3.0, value=-1.0, dim=4))
+        store.save(tmp_path)
+        loaded = FeatureStore.load(tmp_path)
+        assert set(loaded.extractors()) == {"r3d", "clip"}
+        np.testing.assert_allclose(
+            loaded.get("clip", ClipSpec(1, 2.0, 3.0)), np.full(4, -1.0)
+        )
+
+    def test_load_missing_directory_gives_empty_store(self, tmp_path):
+        loaded = FeatureStore.load(tmp_path / "nothing")
+        assert loaded.extractors() == []

@@ -1,0 +1,69 @@
+"""Tests for table and array persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.persistence import load_array, load_table, save_array, save_table
+from repro.storage.table import Table
+
+
+def build_table():
+    table = Table(
+        "videos",
+        {"vid": "int", "duration": "float", "label": "str", "flag": "bool"},
+        primary_key="vid",
+    )
+    table.insert({"vid": 0, "duration": 10.5, "label": "walk", "flag": True})
+    table.insert({"vid": 1, "duration": 3.25, "label": "eat", "flag": False})
+    return table
+
+
+class TestTablePersistence:
+    def test_roundtrip_preserves_rows_and_schema(self, tmp_path):
+        table = build_table()
+        save_table(table, tmp_path)
+        loaded = load_table("videos", tmp_path)
+        assert loaded.schema == table.schema
+        assert loaded.primary_key == "vid"
+        assert loaded.to_records() == table.to_records()
+
+    def test_roundtrip_empty_table(self, tmp_path):
+        table = Table("empty", {"a": "int"}, primary_key="a")
+        save_table(table, tmp_path)
+        loaded = load_table("empty", tmp_path)
+        assert len(loaded) == 0
+        assert loaded.schema == {"a": "int"}
+
+    def test_missing_table_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_table("nope", tmp_path)
+
+    def test_save_creates_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        save_table(build_table(), nested)
+        assert load_table("videos", nested).to_records() == build_table().to_records()
+
+    def test_loaded_table_accepts_new_inserts(self, tmp_path):
+        save_table(build_table(), tmp_path)
+        loaded = load_table("videos", tmp_path)
+        loaded.insert({"vid": 2, "duration": 1.0, "label": "rest", "flag": True})
+        assert len(loaded) == 3
+        assert loaded.get_by_key(2)["label"] == "rest"
+
+
+class TestArrayPersistence:
+    def test_roundtrip_array(self, tmp_path):
+        array = np.arange(12, dtype=np.float64).reshape(3, 4)
+        path = tmp_path / "features.npy"
+        save_array(array, path)
+        assert np.array_equal(load_array(path), array)
+
+    def test_metadata_written_alongside(self, tmp_path):
+        path = tmp_path / "model.npy"
+        save_array(np.zeros(4), path, metadata={"version": 1})
+        assert (tmp_path / "model.npy.meta.json").exists()
+
+    def test_missing_array_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_array(tmp_path / "missing.npy")

@@ -1,0 +1,143 @@
+"""Tests for activity segments and tracks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import VideoError
+from repro.video.activity import ActivitySegment, ActivityTrack
+
+
+class TestActivitySegment:
+    def test_duration(self):
+        assert ActivitySegment(1.0, 4.0, "walk").duration == 3.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(VideoError):
+            ActivitySegment(2.0, 2.0, "walk")
+        with pytest.raises(VideoError):
+            ActivitySegment(3.0, 1.0, "walk")
+
+    def test_overlap_partial(self):
+        segment = ActivitySegment(2.0, 6.0, "walk")
+        assert segment.overlap(0.0, 3.0) == pytest.approx(1.0)
+        assert segment.overlap(5.0, 10.0) == pytest.approx(1.0)
+        assert segment.overlap(3.0, 4.0) == pytest.approx(1.0)
+
+    def test_overlap_disjoint_is_zero(self):
+        segment = ActivitySegment(2.0, 6.0, "walk")
+        assert segment.overlap(6.0, 8.0) == 0.0
+        assert segment.overlap(0.0, 2.0) == 0.0
+
+
+class TestActivityTrack:
+    def build(self):
+        return ActivityTrack(
+            10.0,
+            [
+                ActivitySegment(0.0, 6.0, "bedded"),
+                ActivitySegment(4.0, 8.0, "chewing"),
+                ActivitySegment(8.0, 10.0, "walking"),
+            ],
+        )
+
+    def test_invalid_duration(self):
+        with pytest.raises(VideoError):
+            ActivityTrack(0.0, [])
+
+    def test_segment_outside_duration_rejected(self):
+        with pytest.raises(VideoError):
+            ActivityTrack(5.0, [ActivitySegment(0.0, 6.0, "walk")])
+
+    def test_len_and_activities(self):
+        track = self.build()
+        assert len(track) == 3
+        assert track.activities() == ["bedded", "chewing", "walking"]
+
+    def test_activities_at_instant(self):
+        track = self.build()
+        assert track.activities_at(1.0) == ["bedded"]
+        assert set(track.activities_at(5.0)) == {"bedded", "chewing"}
+        assert track.activities_at(9.0) == ["walking"]
+
+    def test_activities_in_interval_ordered_by_overlap(self):
+        track = self.build()
+        ordered = track.activities_in(3.0, 7.0)
+        assert ordered[0] == "bedded"  # 3 seconds of overlap vs 3 for chewing (tie-broken stably)
+        assert set(ordered) == {"bedded", "chewing"}
+
+    def test_activities_in_respects_min_overlap(self):
+        track = self.build()
+        # "bedded" overlaps [5.9, 6.2] by only 0.1 s and is filtered out;
+        # "chewing" overlaps by 0.3 s and survives the 0.2 s threshold.
+        assert track.activities_in(5.9, 6.2, min_overlap=0.2) == ["chewing"]
+
+    def test_activities_in_invalid_interval(self):
+        with pytest.raises(VideoError):
+            self.build().activities_in(5.0, 5.0)
+
+    def test_dominant_activity(self):
+        track = self.build()
+        assert track.dominant_activity(0.0, 3.0) == "bedded"
+        assert track.dominant_activity(8.0, 10.0) == "walking"
+
+    def test_dominant_activity_none_when_empty(self):
+        track = ActivityTrack(10.0, [ActivitySegment(0.0, 1.0, "walk")])
+        assert track.dominant_activity(5.0, 6.0) is None
+
+    def test_coverage(self):
+        track = self.build()
+        assert track.coverage("bedded") == pytest.approx(6.0)
+        assert track.coverage("missing") == 0.0
+
+    def test_activity_fractions(self):
+        track = self.build()
+        fractions = track.activity_fractions()
+        assert fractions["bedded"] == pytest.approx(0.6)
+        assert fractions["walking"] == pytest.approx(0.2)
+
+    def test_activity_fractions_with_explicit_vocabulary(self):
+        track = self.build()
+        fractions = track.activity_fractions(["bedded", "missing"])
+        assert fractions == {"bedded": pytest.approx(0.6), "missing": 0.0}
+
+    def test_segments_sorted_by_start(self):
+        track = ActivityTrack(
+            10.0,
+            [ActivitySegment(5.0, 6.0, "b"), ActivitySegment(0.0, 1.0, "a")],
+        )
+        assert [s.activity for s in track.segments] == ["a", "b"]
+
+
+class TestActivityTrackProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=9.0),
+                st.floats(min_value=0.5, max_value=1.0),
+                st.sampled_from(["a", "b", "c"]),
+            ),
+            max_size=8,
+        )
+    )
+    def test_coverage_never_exceeds_duration_fraction_bound(self, raw_segments):
+        segments = [
+            ActivitySegment(start, min(10.0, start + length), name)
+            for start, length, name in raw_segments
+        ]
+        track = ActivityTrack(10.0, segments)
+        fractions = track.activity_fractions()
+        for value in fractions.values():
+            assert 0.0 <= value <= 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=9.0),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_dominant_activity_is_member_of_interval_activities(self, start, length):
+        track = ActivityTrack(
+            10.0,
+            [ActivitySegment(0.0, 5.0, "first"), ActivitySegment(5.0, 10.0, "second")],
+        )
+        end = min(10.0, start + length)
+        dominant = track.dominant_activity(start, end)
+        assert dominant in (track.activities_in(start, end) or [None])

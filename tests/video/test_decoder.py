@@ -1,0 +1,88 @@
+"""Tests for the simulated video decoder."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidClipError
+from repro.types import ClipSpec
+from repro.video.activity import ActivitySegment, ActivityTrack
+from repro.video.corpus import VideoCorpus
+from repro.video.decoder import Decoder
+
+
+@pytest.fixture
+def corpus():
+    corpus = VideoCorpus(["a", "b"], latent_dim=32, seed=2)
+    corpus.add_video(ActivityTrack(10.0, [ActivitySegment(0.0, 10.0, "a")]))
+    corpus.add_video(ActivityTrack(4.0, [ActivitySegment(0.0, 4.0, "b")]), fps=20.0)
+    return corpus
+
+
+@pytest.fixture
+def decoder(corpus):
+    return Decoder(corpus)
+
+
+class TestDecode:
+    def test_frame_count_matches_fps_and_duration(self, decoder):
+        decoded = decoder.decode(ClipSpec(0, 0.0, 2.0))
+        assert decoded.num_frames == 60
+        assert decoded.frames.shape == (60, 32)
+        assert decoded.fps == 30.0
+
+    def test_decode_uses_video_fps(self, decoder):
+        decoded = decoder.decode(ClipSpec(1, 0.0, 1.0))
+        assert decoded.num_frames == 20
+        assert decoded.fps == 20.0
+
+    def test_decode_clamps_end_to_duration(self, decoder):
+        decoded = decoder.decode(ClipSpec(1, 3.0, 9.0))
+        assert decoded.clip.end == pytest.approx(4.0)
+        assert decoded.num_frames == 20
+
+    def test_decode_beyond_video_rejected(self, decoder):
+        with pytest.raises(InvalidClipError):
+            decoder.decode(ClipSpec(1, 4.5, 5.0))
+
+    def test_decode_is_deterministic(self, decoder):
+        clip = ClipSpec(0, 1.0, 2.0)
+        np.testing.assert_allclose(decoder.decode(clip).frames, decoder.decode(clip).frames)
+
+    def test_fps_override(self, decoder):
+        decoded = decoder.decode(ClipSpec(0, 0.0, 1.0), fps=10.0)
+        assert decoded.num_frames == 10
+
+    def test_minimum_one_frame(self, decoder):
+        decoded = decoder.decode(ClipSpec(0, 0.0, 0.01))
+        assert decoded.num_frames == 1
+
+
+class TestDecodedClipHelpers:
+    def test_middle_frame(self, decoder):
+        decoded = decoder.decode(ClipSpec(0, 0.0, 1.0))
+        np.testing.assert_allclose(decoded.middle_frame(), decoded.frames[decoded.num_frames // 2])
+
+    def test_strided_frames(self, decoder):
+        decoded = decoder.decode(ClipSpec(0, 0.0, 1.0))
+        assert decoded.strided_frames(2).shape[0] == 15
+        with pytest.raises(InvalidClipError):
+            decoded.strided_frames(0)
+
+
+class TestDecodeWindow:
+    def test_window_duration_matches_sequence_parameters(self, decoder, corpus):
+        decoded = decoder.decode_window(0, start=0.0, sequence_length=16, stride=2)
+        # 16 frames at stride 2 covers 32 raw frames ~= 1.07 s at 30 fps.
+        assert decoded.clip.duration == pytest.approx(32 / 30.0, abs=1e-6)
+        assert decoded.frames.shape[0] <= 16
+
+    def test_window_near_video_end_is_clamped(self, decoder):
+        decoded = decoder.decode_window(1, start=3.5)
+        assert decoded.clip.end == pytest.approx(4.0)
+
+    def test_window_outside_video_rejected(self, decoder):
+        with pytest.raises(InvalidClipError):
+            decoder.decode_window(1, start=4.0)
+
+    def test_corpus_property(self, decoder, corpus):
+        assert decoder.corpus is corpus
