@@ -1,0 +1,206 @@
+"""FeatureStore microbenchmark — columnar batched lookups vs row-at-a-time.
+
+Unlike the ``bench_fig*``/``bench_table*`` files (which regenerate paper
+figures through pytest), this is a plain script pinning the speedup of the
+columnar FeatureStore over the seed's row-at-a-time implementation.  It
+measures, at 10k / 100k / 1M stored vectors:
+
+* **point lookup** — exact clip->vector reads (``get_many`` vs per-clip
+  ``get``),
+* **nearest** — nearest-midpoint lookups on one video (``searchsorted`` index
+  vs a Python ``min()`` scan),
+* **matrix build** — design-matrix assembly over a half-exact / half-miss
+  clip batch (single columnar gather with batched nearest fallback vs
+  per-clip lookup + ``np.vstack``).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_feature_store.py           # full
+    PYTHONPATH=src python benchmarks/bench_feature_store.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import time
+
+import numpy as np
+
+from repro.storage.feature_store import FeatureStore
+from repro.types import ClipSpec
+
+CLIPS_PER_VIDEO = 60
+WINDOW = 1.0
+
+
+class RowAtATimeStore:
+    """The seed implementation: Python lists, dict index, linear nearest scan."""
+
+    def __init__(self) -> None:
+        self.clips: list[ClipSpec] = []
+        self.vectors: list[np.ndarray] = []
+        self._index: dict[tuple[int, float, float], int] = {}
+        self._by_vid: dict[int, list[int]] = {}
+
+    def add(self, clip: ClipSpec, vector: np.ndarray) -> None:
+        position = len(self.clips)
+        self.clips.append(clip)
+        self.vectors.append(np.asarray(vector, dtype=np.float64))
+        self._index[(clip.vid, clip.start, clip.end)] = position
+        self._by_vid.setdefault(clip.vid, []).append(position)
+
+    def get(self, clip: ClipSpec) -> np.ndarray:
+        return self.vectors[self._index[(clip.vid, clip.start, clip.end)]]
+
+    def nearest(self, clip: ClipSpec) -> np.ndarray:
+        positions = self._by_vid[clip.vid]
+        target = clip.midpoint
+        best = min(positions, key=lambda p: abs(self.clips[p].midpoint - target))
+        return self.vectors[best]
+
+    def matrix(self, clips: list[ClipSpec]) -> np.ndarray:
+        rows = []
+        for clip in clips:
+            key = (clip.vid, clip.start, clip.end)
+            if key in self._index:
+                rows.append(self.vectors[self._index[key]])
+            else:
+                rows.append(self.nearest(clip))
+        return np.vstack(rows) if rows else np.empty((0, 0))
+
+
+def build_corpus(num_vectors: int, dim: int, seed: int):
+    """Synthetic feature columns: consecutive 1s windows over many videos."""
+    rng = np.random.default_rng(seed)
+    num_videos = (num_vectors + CLIPS_PER_VIDEO - 1) // CLIPS_PER_VIDEO
+    vids = np.repeat(np.arange(num_videos), CLIPS_PER_VIDEO)[:num_vectors].astype(np.int64)
+    offsets = np.tile(
+        np.arange(CLIPS_PER_VIDEO, dtype=np.float64), num_videos
+    )[:num_vectors]
+    starts = offsets * WINDOW
+    ends = starts + WINDOW
+    vectors = rng.standard_normal((num_vectors, dim))
+    return vids, starts, ends, vectors
+
+
+def sample_queries(rng, vids, starts, ends, count: int, miss_fraction: float):
+    """Query clips: exact stored windows plus midpoint-shifted misses."""
+    picks = rng.integers(0, len(vids), size=count)
+    clips = []
+    for j, i in enumerate(picks):
+        if j < count * miss_fraction:
+            # Misaligned clip inside the stored window -> nearest fallback.
+            clips.append(ClipSpec(int(vids[i]), float(starts[i]) + 0.2, float(ends[i]) - 0.2))
+        else:
+            clips.append(ClipSpec(int(vids[i]), float(starts[i]), float(ends[i])))
+    return clips
+
+
+def timed(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_size(num_vectors: int, dim: int, num_queries: int, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed + 1)
+    vids, starts, ends, vectors = build_corpus(num_vectors, dim, seed)
+
+    # Ingest timings are single-shot; keep the collector out of them.
+    gc.collect()
+    gc.disable()
+    try:
+        columnar = FeatureStore()
+        t0 = time.perf_counter()
+        columnar.add_batch("bench", vids, starts, ends, vectors)
+        ingest_batch = time.perf_counter() - t0
+
+        baseline = RowAtATimeStore()
+        t0 = time.perf_counter()
+        for i in range(num_vectors):
+            baseline.add(ClipSpec(int(vids[i]), float(starts[i]), float(ends[i])), vectors[i])
+        ingest_rows = time.perf_counter() - t0
+    finally:
+        gc.enable()
+
+    exact = sample_queries(rng, vids, starts, ends, num_queries, miss_fraction=0.0)
+    nearest = sample_queries(rng, vids, starts, ends, num_queries, miss_fraction=1.0)
+    mixed = sample_queries(rng, vids, starts, ends, num_queries, miss_fraction=0.5)
+
+    results = {
+        "num_vectors": num_vectors,
+        "num_queries": num_queries,
+        "ingest_speedup": ingest_rows / max(ingest_batch, 1e-12),
+    }
+    point_new = timed(lambda: columnar.get_many("bench", exact))
+    point_old = timed(lambda: np.vstack([baseline.get(c) for c in exact]))
+    results["point_lookup"] = (point_old, point_new)
+
+    near_new = timed(lambda: columnar.matrix("bench", nearest))
+    near_old = timed(lambda: [baseline.nearest(c) for c in nearest])
+    results["nearest"] = (near_old, near_new)
+
+    new_matrix = columnar.matrix("bench", mixed)
+    old_matrix = baseline.matrix(mixed)
+    np.testing.assert_allclose(new_matrix, old_matrix)  # same semantics, faster path
+    mat_new = timed(lambda: columnar.matrix("bench", mixed))
+    mat_old = timed(lambda: baseline.matrix(mixed))
+    results["matrix_build"] = (mat_old, mat_new)
+    return results
+
+
+def report(results: list[dict]) -> None:
+    header = (
+        f"{'vectors':>10} {'queries':>8} {'metric':<14} "
+        f"{'row-at-a-time':>14} {'columnar':>12} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in results:
+        for metric in ("point_lookup", "nearest", "matrix_build"):
+            old, new = row[metric]
+            print(
+                f"{row['num_vectors']:>10,} {row['num_queries']:>8,} {metric:<14} "
+                f"{old * 1e3:>12.2f}ms {new * 1e3:>10.2f}ms {old / max(new, 1e-12):>7.1f}x"
+            )
+        print(f"{'':>10} {'':>8} {'ingest':<14} {'':>14} {'':>12} {row['ingest_speedup']:>7.1f}x")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI smoke run")
+    parser.add_argument("--dim", type=int, default=64, help="feature dimensionality")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    if args.quick:
+        sizes = [(10_000, 2_000)]
+        dim = min(args.dim, 32)
+    else:
+        sizes = [(10_000, 5_000), (100_000, 10_000), (1_000_000, 10_000)]
+        dim = args.dim
+
+    results = [run_size(n, dim, q, seed=args.seed) for n, q in sizes]
+    report(results)
+
+    # Acceptance gate: the columnar matrix() build must be >= 5x faster than
+    # the seed implementation at the 100k scale (10k scale for --quick).
+    gate = next(
+        (r for r in results if r["num_vectors"] == 100_000), results[-1]
+    )
+    old, new = gate["matrix_build"]
+    speedup = old / max(new, 1e-12)
+    print(f"\nmatrix-build speedup at {gate['num_vectors']:,} vectors: {speedup:.1f}x")
+    if speedup < 5.0:
+        print("FAIL: expected >= 5x")
+        return 1
+    print("PASS: >= 5x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

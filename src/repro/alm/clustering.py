@@ -33,6 +33,21 @@ class KMeansResult:
         return np.flatnonzero(self.assignments == cluster)
 
 
+def _pairwise_sq_distances(
+    points: np.ndarray, points_sq: np.ndarray, centroids: np.ndarray
+) -> np.ndarray:
+    """Squared Euclidean distances of shape (n, k) via the norm expansion.
+
+    ``|x - c|^2 = |x|^2 + |c|^2 - 2 x.c`` needs only an (n, k) matmul instead
+    of materialising the (n, k, d) difference tensor, so it stays cache- and
+    memory-friendly for large candidate pools.
+    """
+    sq = points_sq[:, None] + np.einsum("ij,ij->i", centroids, centroids)[None, :]
+    sq -= 2.0 * (points @ centroids.T)
+    np.maximum(sq, 0.0, out=sq)
+    return sq
+
+
 def _init_centroids(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
     """k-means++ seeding."""
     n = points.shape[0]
@@ -80,26 +95,28 @@ def kmeans(
     n = points.shape[0]
     k = max(1, min(int(num_clusters), n))
 
+    points_sq = np.einsum("ij,ij->i", points, points)
     centroids = _init_centroids(points, k, rng)
     assignments = np.zeros(n, dtype=np.int64)
     for __ in range(max_iterations):
-        distances = np.linalg.norm(points[:, None, :] - centroids[None, :, :], axis=2)
-        assignments = distances.argmin(axis=1)
+        sq_distances = _pairwise_sq_distances(points, points_sq, centroids)
+        assignments = sq_distances.argmin(axis=1)
+        counts = np.bincount(assignments, minlength=k)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assignments, points)
         new_centroids = centroids.copy()
-        for cluster in range(k):
-            members = points[assignments == cluster]
-            if len(members):
-                new_centroids[cluster] = members.mean(axis=0)
-            else:
-                # Re-seed empty clusters at the point farthest from its centroid.
-                farthest = int(distances.min(axis=1).argmax())
-                new_centroids[cluster] = points[farthest]
+        occupied = counts > 0
+        new_centroids[occupied] = sums[occupied] / counts[occupied, None]
+        if not occupied.all():
+            # Re-seed empty clusters at the point farthest from its centroid.
+            farthest = int(sq_distances.min(axis=1).argmax())
+            new_centroids[~occupied] = points[farthest]
         shift = float(np.linalg.norm(new_centroids - centroids))
         centroids = new_centroids
         if shift < tolerance:
             break
 
-    final_distances = np.linalg.norm(points[:, None, :] - centroids[None, :, :], axis=2)
-    assignments = final_distances.argmin(axis=1)
-    inertia = float(np.sum(final_distances[np.arange(n), assignments] ** 2))
+    final_sq = _pairwise_sq_distances(points, points_sq, centroids)
+    assignments = final_sq.argmin(axis=1)
+    inertia = float(np.sum(final_sq[np.arange(n), assignments]))
     return KMeansResult(assignments=assignments, centroids=centroids, inertia=inertia)

@@ -158,21 +158,33 @@ class ActiveLearningManager:
         return self.features.ensure_video_features(feature_name, chosen)
 
     def _candidate_context(self, feature_name: str, target_label: str | None) -> AcquisitionContext:
-        clips, matrix = self.features.candidate_pool(feature_name)
+        vids, starts, ends, vectors = self.features.candidate_pool_columns(feature_name)
         labeled_clips = self.labels.labeled_clips()
-        labeled_keys = {(c.vid, round(c.start, 3), round(c.end, 3)) for c in labeled_clips}
-        labeled_vids = set(self.labels.labeled_vids())
 
-        keep_indices = [
-            i
-            for i, clip in enumerate(clips)
-            if (clip.vid, round(clip.start, 3), round(clip.end, 3)) not in labeled_keys
-            and not any(
-                clip.vid == lc.vid and clip.overlaps(lc) for lc in labeled_clips if lc.vid == clip.vid
-            )
+        # Drop pool entries that are already labeled (rounded-key match) or
+        # that overlap a labeled clip on the same video.  One vectorized pass
+        # over the columnar pool per labeled clip instead of a Python scan of
+        # the whole pool.
+        keep = np.ones(len(vids), dtype=bool)
+        if labeled_clips and len(vids):
+            rounded_starts = np.round(starts, 3)
+            rounded_ends = np.round(ends, 3)
+            for lc in labeled_clips:
+                same_vid = vids == lc.vid
+                if not same_vid.any():
+                    continue
+                overlap = same_vid & (starts < lc.end) & (lc.start < ends)
+                exact = (
+                    same_vid
+                    & (rounded_starts == round(lc.start, 3))
+                    & (rounded_ends == round(lc.end, 3))
+                )
+                keep &= ~(overlap | exact)
+        keep_indices = np.flatnonzero(keep)
+        candidates = [
+            ClipSpec(int(vids[i]), float(starts[i]), float(ends[i])) for i in keep_indices
         ]
-        candidates = [clips[i] for i in keep_indices]
-        candidate_features = matrix[keep_indices] if len(keep_indices) else np.empty((0, 0))
+        candidate_features = vectors[keep_indices] if len(keep_indices) else np.empty((0, 0))
 
         labeled_features = np.empty((0, 0))
         if labeled_clips and self.features.store.count(feature_name):

@@ -456,8 +456,11 @@ class ExplorationSession:
         batch_limit = self.config.scheduler.eager_batch_size
         if limit is not None:
             batch_limit = min(batch_limit, limit - self._eager_videos_done)
-        for feature in sorted(candidates, key=lambda f: len(self.features.vids_with_features(f))):
-            processed = set(self.features.vids_with_features(feature))
+        processed_by_feature = {
+            feature: set(self.features.vids_with_features(feature)) for feature in candidates
+        }
+        for feature in sorted(candidates, key=lambda f: len(processed_by_feature[f])):
+            processed = processed_by_feature[feature]
             fresh = [vid for vid in all_vids if vid not in processed and vid not in labeled]
             if fresh:
                 batch = fresh[:batch_limit]

@@ -81,24 +81,25 @@ class FeatureManager:
 
         A clip is considered covered when the exact clip has a vector or when
         the video already has a feature window containing the clip midpoint.
-        Missing clips are extracted over the feature window aligned to the
-        clip, matching how the prototype aligns 1-second labels to windows.
+        Coverage for the whole batch is resolved in one store call; only the
+        uncovered clips are mapped to their feature windows and extracted,
+        matching how the prototype aligns 1-second labels to windows.
         """
         extractor = self.registry.get(fid)
+        covered = self.store.covering_mask(fid, clips)
         missing: list[ClipSpec] = []
+        seen_windows: set[ClipSpec] = set()
         touched_vids: set[int] = set()
-        for clip in clips:
-            if self.store.has(fid, clip):
+        for clip, is_covered in zip(clips, covered):
+            if is_covered:
                 continue
-            if self.store.has_any_for_video(fid, clip.vid):
-                nearest_clip, __ = self.store.get_nearest(fid, clip)
-                if nearest_clip.start <= clip.midpoint <= nearest_clip.end:
-                    continue
             video = self._videos.get(clip.vid)
             window = self.sampler.window_containing(
                 video, min(clip.midpoint, max(0.0, video.duration - 1e-6))
             )
-            missing.append(window)
+            if window not in seen_windows:
+                seen_windows.add(window)
+                missing.append(window)
             touched_vids.add(clip.vid)
         extracted = self._extract(extractor, missing)
         return ExtractionReport(
@@ -147,9 +148,30 @@ class FeatureManager:
         self.ensure_clip_features(fid, clips)
         return self.store.matrix(fid, clips)
 
+    def get_many(self, fid: str, clips: Sequence[ClipSpec]) -> np.ndarray:
+        """Exact-lookup matrix for already-extracted clips (no extraction, no fallback)."""
+        return self.store.get_many(fid, clips)
+
+    def has_many(self, fid: str, clips: Sequence[ClipSpec]) -> np.ndarray:
+        """Boolean mask of exact-clip feature coverage, aligned with ``clips``."""
+        return self.store.has_many(fid, clips)
+
     def candidate_pool(self, fid: str) -> tuple[list[ClipSpec], np.ndarray]:
         """All stored clips and vectors for ``fid`` (the active-learning candidate set)."""
         return self.store.all_vectors(fid)
+
+    def candidate_pool_columns(
+        self, fid: str
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar views ``(vids, starts, ends, vectors)`` of the candidate pool.
+
+        Zero-copy access for vectorized filtering; callers must not mutate the
+        returned arrays.  Unknown extractors yield empty columns.
+        """
+        if fid not in self.store.extractors():
+            empty = np.empty(0, dtype=np.float64)
+            return np.empty(0, dtype=np.int64), empty, empty, np.empty((0, 0))
+        return self.store.columns(fid)
 
     def vids_with_features(self, fid: str) -> list[int]:
         """Videos that already have at least one stored window for ``fid``."""
@@ -158,8 +180,11 @@ class FeatureManager:
     def feature_vectors_for(self, fid: str, vid: int) -> list[FeatureVector]:
         """All stored vectors of one video for one extractor."""
         clips = self.store.clips_for(fid, vid)
+        if not clips:
+            return []
+        vectors = self.store.get_many(fid, clips)
         return [
             FeatureVector(fid=fid, vid=clip.vid, start=clip.start, end=clip.end,
-                          vector=self.store.get(fid, clip))
-            for clip in clips
+                          vector=vector)
+            for clip, vector in zip(clips, vectors)
         ]

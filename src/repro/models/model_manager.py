@@ -73,6 +73,22 @@ class ModelManager:
         names = [label.label for label in stored]
         return clips, names
 
+    def training_design(
+        self, feature_name: str, label_limit: int | None = None
+    ) -> tuple[np.ndarray, list[str]]:
+        """Design matrix and class names for the stored labels, built in one call."""
+        clips, names = self.training_examples(label_limit)
+        return self._design_matrix(feature_name, clips), names
+
+    def _design_matrix(self, feature_name: str, clips: list[ClipSpec]) -> np.ndarray:
+        """Single batched design-matrix path shared by training and evaluation.
+
+        Resolves the whole clip list through the feature store's batched
+        ``matrix`` gather (with nearest-window fallback) instead of per-clip
+        lookups.
+        """
+        return self.feature_manager.matrix(feature_name, clips)
+
     def can_train(self) -> bool:
         """True when the collected labels span at least two classes."""
         counts = self.labels.class_counts()
@@ -101,7 +117,7 @@ class ModelManager:
             raise InsufficientLabelsError(
                 "training requires labels from at least two classes"
             )
-        features = self.feature_manager.matrix(feature_name, clips)
+        features = self._design_matrix(feature_name, clips)
         model = SoftmaxRegression(
             classes=self.vocabulary,
             l2_regularization=self.config.l2_regularization,
@@ -156,20 +172,21 @@ class ModelManager:
             return []
         model, info = self.latest_model(feature_name)
         features = self.feature_manager.matrix(feature_name, clips)
-        probabilities = model.predict_proba(features)
-        predictions = []
-        for clip, row in zip(clips, probabilities):
-            predictions.append(
-                Prediction(
-                    vid=clip.vid,
-                    start=clip.start,
-                    end=clip.end,
-                    probabilities={name: float(p) for name, p in zip(model.classes, row)},
-                    feature_name=feature_name,
-                    model_version=info.version,
-                )
+        # One batched inference call; .tolist() converts to Python floats in
+        # bulk instead of one np.float64 cast per (clip, class) pair.
+        rows = model.predict_proba(features).tolist()
+        classes = list(model.classes)
+        return [
+            Prediction(
+                vid=clip.vid,
+                start=clip.start,
+                end=clip.end,
+                probabilities=dict(zip(classes, row)),
+                feature_name=feature_name,
+                model_version=info.version,
             )
-        return predictions
+            for clip, row in zip(clips, rows)
+        ]
 
     # -------------------------------------------------------------- evaluation
     def evaluate(
@@ -199,10 +216,9 @@ class ModelManager:
         This is the feature-evaluation task (T_e) used by the rising-bandit
         feature selector before a labeled validation set exists.
         """
-        clips, names = self.training_examples()
-        if not clips:
+        if not len(self.labels):
             raise InsufficientLabelsError("no labels collected yet")
-        features = self.feature_manager.matrix(feature_name, clips)
+        features, names = self.training_design(feature_name)
         return cross_validate_macro_f1(
             features,
             names,

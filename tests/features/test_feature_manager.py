@@ -121,6 +121,39 @@ class TestAccess:
         assert vectors
         assert all(v.vid == 3 and v.fid == "r3d" for v in vectors)
 
+    def test_get_many_matches_per_clip_get(self, setup):
+        __, __, __, manager = setup
+        manager.ensure_video_features("r3d", [0, 1])
+        clips = manager.store.clips_for("r3d", 0) + manager.store.clips_for("r3d", 1)
+        batched = manager.get_many("r3d", clips)
+        assert batched.shape == (len(clips), 512)
+        for row, clip in zip(batched, clips):
+            np.testing.assert_array_equal(row, manager.store.get("r3d", clip))
+
+    def test_has_many_masks_extracted_clips(self, setup):
+        __, __, __, manager = setup
+        stored = ClipSpec(0, 0.0, 1.0)
+        manager.ensure_clip_features("r3d", [stored])
+        window = manager.store.clips_for("r3d", 0)[0]
+        mask = manager.has_many("r3d", [window, ClipSpec(5, 0.0, 1.0)])
+        assert mask.tolist() == [True, False]
+
+    def test_candidate_pool_columns_align_with_pool(self, setup):
+        __, __, __, manager = setup
+        manager.ensure_video_features("r3d", [0, 1])
+        clips, matrix = manager.candidate_pool("r3d")
+        vids, starts, ends, vectors = manager.candidate_pool_columns("r3d")
+        assert list(vids) == [c.vid for c in clips]
+        assert list(starts) == [c.start for c in clips]
+        assert list(ends) == [c.end for c in clips]
+        np.testing.assert_array_equal(vectors, matrix)
+
+    def test_candidate_pool_columns_unknown_extractor_is_empty(self, setup):
+        __, __, __, manager = setup
+        vids, starts, ends, vectors = manager.candidate_pool_columns("r3d")
+        assert len(vids) == len(starts) == len(ends) == 0
+        assert vectors.shape == (0, 0)
+
     def test_extractor_names(self, setup):
         __, __, __, manager = setup
         assert "r3d" in manager.extractor_names()

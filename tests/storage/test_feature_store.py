@@ -122,6 +122,26 @@ class TestMatrixAccess:
         assert clips == []
         assert matrix.size == 0
 
+    def test_matrix_empty_request_keeps_known_dim(self):
+        store = FeatureStore()
+        store.add(feature(dim=8))
+        matrix = store.matrix("r3d", [])
+        assert matrix.shape == (0, 8)
+        # Downstream callers stack design matrices; (0, d) must compose.
+        stacked = np.vstack([matrix, np.ones((2, 8))])
+        assert stacked.shape == (2, 8)
+        assert np.hstack([matrix, np.empty((0, 3))]).shape == (0, 11)
+
+    def test_columns_are_aligned_views(self):
+        store = FeatureStore()
+        store.add(feature(vid=1, start=0.0, end=1.0, value=1.0))
+        store.add(feature(vid=2, start=3.0, end=4.0, value=2.0))
+        vids, starts, ends, vectors = store.columns("r3d")
+        np.testing.assert_array_equal(vids, [1, 2])
+        np.testing.assert_allclose(starts, [0.0, 3.0])
+        np.testing.assert_allclose(ends, [1.0, 4.0])
+        np.testing.assert_allclose(vectors[1], np.full(8, 2.0))
+
 
 class TestFeatureStorePersistence:
     def test_save_and_load_roundtrip(self, tmp_path):
@@ -138,3 +158,44 @@ class TestFeatureStorePersistence:
     def test_load_missing_directory_gives_empty_store(self, tmp_path):
         loaded = FeatureStore.load(tmp_path / "nothing")
         assert loaded.extractors() == []
+
+    def test_roundtrip_preserves_extractor_with_missing_payload(self, tmp_path):
+        """A manifest entry whose .npz payload is gone must not be dropped."""
+        store = FeatureStore()
+        store.add(feature(fid="r3d", vid=0))
+        store.add(feature(fid="clip", vid=1, dim=4))
+        store.save(tmp_path)
+        (tmp_path / "features_clip.npz").unlink()
+
+        loaded = FeatureStore.load(tmp_path)
+        assert set(loaded.extractors()) == {"r3d", "clip"}
+        assert loaded.count("clip") == 0
+        # Dimensionality survives via the manifest, so empty reads are shaped.
+        assert loaded.dim("clip") == 4
+        assert loaded.matrix("clip", []).shape == (0, 4)
+        clips, matrix = loaded.all_vectors("clip")
+        assert clips == [] and matrix.shape == (0, 4)
+
+    def test_roundtrip_of_empty_shard_is_stable(self, tmp_path):
+        store = FeatureStore()
+        store.add(feature(fid="r3d", vid=0))
+        store.save(tmp_path)
+        (tmp_path / "features_r3d.npz").unlink()
+        once = FeatureStore.load(tmp_path)
+
+        second_dir = tmp_path / "again"
+        once.save(second_dir)
+        twice = FeatureStore.load(second_dir)
+        assert twice.extractors() == once.extractors() == ["r3d"]
+        assert twice.count("r3d") == 0
+
+    def test_load_avoids_row_reinsertion_and_preserves_order(self, tmp_path):
+        store = FeatureStore()
+        for vid in (3, 1, 2):
+            store.add(feature(vid=vid, value=float(vid)))
+        store.save(tmp_path)
+        loaded = FeatureStore.load(tmp_path)
+        assert loaded.clips_for("r3d") == store.clips_for("r3d")
+        vids, __, __, vectors = loaded.columns("r3d")
+        np.testing.assert_array_equal(vids, [3, 1, 2])
+        np.testing.assert_allclose(vectors[:, 0], [3.0, 1.0, 2.0])
