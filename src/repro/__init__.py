@@ -19,6 +19,7 @@ from .config import (
     ALMConfig,
     ExploreConfig,
     FeatureSelectionConfig,
+    IndexConfig,
     ModelConfig,
     SchedulerConfig,
     VocalExploreConfig,
@@ -29,6 +30,7 @@ from .core import (
     IterationSummary,
     NoisyOracleUser,
     OracleUser,
+    SearchHit,
     VOCALExplore,
 )
 from .exceptions import ReproError
@@ -42,6 +44,7 @@ __all__ = [
     "ExplorationSession",
     "ExploreResult",
     "IterationSummary",
+    "SearchHit",
     "OracleUser",
     "NoisyOracleUser",
     "VocalExploreConfig",
@@ -50,6 +53,7 @@ __all__ = [
     "SchedulerConfig",
     "ModelConfig",
     "ExploreConfig",
+    "IndexConfig",
     "ReproError",
     "ClipSpec",
     "Label",

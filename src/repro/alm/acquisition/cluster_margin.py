@@ -29,7 +29,13 @@ class ClusterMarginAcquisition(FeatureAcquisition):
     name = "cluster-margin"
     requires_model = True
 
-    def __init__(self, margin_pool_multiplier: float = 2.0, clusters_per_batch: int = 2) -> None:
+    def __init__(
+        self,
+        margin_pool_multiplier: float = 2.0,
+        clusters_per_batch: int = 2,
+        index_backend: str = "exact",
+        index_params: dict | None = None,
+    ) -> None:
         """Configure the method.
 
         Args:
@@ -39,6 +45,10 @@ class ClusterMarginAcquisition(FeatureAcquisition):
                 (Citovsky et al. use substantially more clusters than the
                 batch size; the shortlist here is small so a small factor
                 suffices).
+            index_backend: ``repro.index`` backend used by the k-means
+                nearest-centroid assignments ("exact" matches brute force
+                bit-for-bit).
+            index_params: Extra constructor kwargs for the backend.
         """
         if margin_pool_multiplier < 1.0:
             raise AcquisitionError("margin_pool_multiplier must be >= 1")
@@ -46,6 +56,8 @@ class ClusterMarginAcquisition(FeatureAcquisition):
             raise AcquisitionError("clusters_per_batch must be >= 1")
         self.margin_pool_multiplier = float(margin_pool_multiplier)
         self.clusters_per_batch = int(clusters_per_batch)
+        self.index_backend = index_backend
+        self.index_params = dict(index_params or {})
 
     def _margins(self, context: AcquisitionContext) -> np.ndarray:
         features = np.asarray(context.candidate_features, dtype=np.float64)
@@ -82,7 +94,13 @@ class ClusterMarginAcquisition(FeatureAcquisition):
         shortlist = np.argsort(margins, kind="stable")[:shortlist_size]
 
         num_clusters = min(len(shortlist), max(1, count * self.clusters_per_batch))
-        clustering = kmeans(features[shortlist], num_clusters, rng=rng)
+        clustering = kmeans(
+            features[shortlist],
+            num_clusters,
+            rng=rng,
+            index_backend=self.index_backend,
+            index_params=self.index_params,
+        )
 
         # Round-robin across clusters, smallest cluster first (as in the paper
         # this ensures rare modes are represented in the batch).

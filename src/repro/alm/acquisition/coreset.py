@@ -4,6 +4,11 @@ Implements the greedy 2-approximation of the k-center objective from Sener &
 Savarese (2018): repeatedly pick the candidate farthest from the set of
 already-covered points (labeled clips plus previously picked candidates).
 It is a density/diversity method — it needs features but no trained model.
+
+The labeled-distance initialisation routes through the ``repro.index``
+subsystem: a 1-NN search of every candidate against the labeled set replaces
+the seed's ``(n, L, d)`` difference tensor, so memory stays ``O(n + L)`` and
+an ANN backend can be substituted for very large pools.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...exceptions import AcquisitionError
+from ...index import build_index, pairwise_sq_distances
 from ...types import ClipSpec
 from .base import AcquisitionContext, FeatureAcquisition
 
@@ -22,6 +28,22 @@ class CoresetAcquisition(FeatureAcquisition):
 
     name = "coreset"
     requires_model = False
+
+    def __init__(self, index_backend: str = "exact", index_params: dict | None = None,
+                 seed: int = 0) -> None:
+        """Configure the nearest-neighbour backend used for initialisation.
+
+        Args:
+            index_backend: ``repro.index`` backend for the candidate-to-labeled
+                1-NN search.  "exact" reproduces the brute-force selections
+                (distances agree with the difference-tensor formulation to
+                float rounding, so only degenerate sub-ulp ties could differ).
+            index_params: Extra constructor kwargs for the backend.
+            seed: Seed for the backend's RNG (ANN backends only).
+        """
+        self.index_backend = index_backend
+        self.index_params = dict(index_params or {})
+        self.seed = int(seed)
 
     def select(
         self,
@@ -45,9 +67,18 @@ class CoresetAcquisition(FeatureAcquisition):
         chosen: list[int] = []
         count = min(count, len(candidates))
         if labeled.size:
-            distances = np.min(
-                np.linalg.norm(features[:, None, :] - labeled[None, :, :], axis=2), axis=1
-            )
+            index = build_index(self.index_backend, seed=self.seed, **self.index_params)
+            index.build(labeled)
+            nearest_sq, nearest = index.search(features, 1)
+            distances = nearest_sq[:, 0]
+            # An ANN backend can miss (inf sentinel), which would make the
+            # unreachable candidates look maximally far; patch misses with the
+            # exact kernel against the labeled set.
+            missed = nearest[:, 0] < 0
+            if missed.any():
+                distances = distances.copy()
+                distances[missed] = pairwise_sq_distances(features[missed], labeled).min(axis=1)
+            distances = np.sqrt(distances)
         else:
             # With no labeled points yet, a random candidate seeds the batch and
             # becomes its first member.

@@ -5,6 +5,11 @@ pool and then round-robins margin-sampled examples across clusters.  The
 prototype uses an off-the-shelf clustering routine; this module provides a
 small, dependency-free k-means (k-means++ initialisation, Lloyd iterations)
 sufficient for that purpose.
+
+All nearest-centroid math comes from the ``repro.index`` subsystem: the
+default exact path runs its shared norm-expansion kernel (bit-identical
+assignments, centroids, and inertia vs the seed implementation), while an ANN
+backend can be selected via configuration for very large pools.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ALMError
+from ..index import build_index, canonical_backend
+from ..index.distances import pairwise_sq_distances, squared_norms
 
 __all__ = ["KMeansResult", "kmeans"]
 
@@ -31,21 +38,6 @@ class KMeansResult:
     def members(self, cluster: int) -> np.ndarray:
         """Indices of the points assigned to ``cluster``."""
         return np.flatnonzero(self.assignments == cluster)
-
-
-def _pairwise_sq_distances(
-    points: np.ndarray, points_sq: np.ndarray, centroids: np.ndarray
-) -> np.ndarray:
-    """Squared Euclidean distances of shape (n, k) via the norm expansion.
-
-    ``|x - c|^2 = |x|^2 + |c|^2 - 2 x.c`` needs only an (n, k) matmul instead
-    of materialising the (n, k, d) difference tensor, so it stays cache- and
-    memory-friendly for large candidate pools.
-    """
-    sq = points_sq[:, None] + np.einsum("ij,ij->i", centroids, centroids)[None, :]
-    sq -= 2.0 * (points @ centroids.T)
-    np.maximum(sq, 0.0, out=sq)
-    return sq
 
 
 def _init_centroids(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
@@ -69,12 +61,50 @@ def _init_centroids(points: np.ndarray, k: int, rng: np.random.Generator) -> np.
     return centroids
 
 
+def _assign(
+    points: np.ndarray,
+    points_sq: np.ndarray,
+    centroids: np.ndarray,
+    index_backend: str,
+    index_params: dict | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(assignments, squared distance to the assigned centroid).
+
+    The default exact backend runs the index subsystem's distance kernel
+    directly with the hoisted point norms — exactly what ``ExactIndex`` would
+    compute, minus a per-iteration index build and norm recomputation.  ANN
+    backends build an index over the centroids; they may return the -1/inf
+    no-neighbour sentinel (e.g. an LSH query whose buckets are all empty), and
+    every point must have an assignment, so misses fall back to the exact
+    kernel.
+    """
+    if canonical_backend(index_backend) == "exact":
+        sq = pairwise_sq_distances(points, centroids, points_sq=points_sq)
+        assignments = sq.argmin(axis=1)
+        return assignments, sq[np.arange(points.shape[0]), assignments]
+    index = build_index(index_backend, **(index_params or {}))
+    index.build(centroids)
+    sq, nearest = index.search(points, 1)
+    assignments = nearest[:, 0].copy()
+    min_sq = sq[:, 0].copy()
+    missed = assignments < 0
+    if missed.any():
+        exact_sq = pairwise_sq_distances(
+            points[missed], centroids, points_sq=points_sq[missed]
+        )
+        assignments[missed] = exact_sq.argmin(axis=1)
+        min_sq[missed] = exact_sq[np.arange(exact_sq.shape[0]), assignments[missed]]
+    return assignments, min_sq
+
+
 def kmeans(
     points: np.ndarray,
     num_clusters: int,
     rng: np.random.Generator | None = None,
     max_iterations: int = 50,
     tolerance: float = 1e-6,
+    index_backend: str = "exact",
+    index_params: dict | None = None,
 ) -> KMeansResult:
     """Cluster ``points`` into ``num_clusters`` groups.
 
@@ -84,6 +114,9 @@ def kmeans(
         rng: Random generator used for initialisation.
         max_iterations: Maximum Lloyd iterations.
         tolerance: Stop when the centroid shift falls below this value.
+        index_backend: ``repro.index`` backend used for nearest-centroid
+            assignment ("exact" reproduces the brute-force path bit-for-bit).
+        index_params: Extra constructor kwargs for the index backend.
 
     Raises:
         ALMError: when ``points`` is empty or not 2-D.
@@ -95,12 +128,11 @@ def kmeans(
     n = points.shape[0]
     k = max(1, min(int(num_clusters), n))
 
-    points_sq = np.einsum("ij,ij->i", points, points)
+    points_sq = squared_norms(points)
     centroids = _init_centroids(points, k, rng)
     assignments = np.zeros(n, dtype=np.int64)
     for __ in range(max_iterations):
-        sq_distances = _pairwise_sq_distances(points, points_sq, centroids)
-        assignments = sq_distances.argmin(axis=1)
+        assignments, min_sq = _assign(points, points_sq, centroids, index_backend, index_params)
         counts = np.bincount(assignments, minlength=k)
         sums = np.zeros_like(centroids)
         np.add.at(sums, assignments, points)
@@ -109,14 +141,13 @@ def kmeans(
         new_centroids[occupied] = sums[occupied] / counts[occupied, None]
         if not occupied.all():
             # Re-seed empty clusters at the point farthest from its centroid.
-            farthest = int(sq_distances.min(axis=1).argmax())
+            farthest = int(min_sq.argmax())
             new_centroids[~occupied] = points[farthest]
         shift = float(np.linalg.norm(new_centroids - centroids))
         centroids = new_centroids
         if shift < tolerance:
             break
 
-    final_sq = _pairwise_sq_distances(points, points_sq, centroids)
-    assignments = final_sq.argmin(axis=1)
-    inertia = float(np.sum(final_sq[np.arange(n), assignments]))
+    assignments, final_sq = _assign(points, points_sq, centroids, index_backend, index_params)
+    inertia = float(final_sq.sum())
     return KMeansResult(assignments=assignments, centroids=centroids, inertia=inertia)

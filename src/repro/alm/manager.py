@@ -24,7 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..config import ALMConfig, FeatureSelectionConfig
+from ..config import ALMConfig, FeatureSelectionConfig, IndexConfig
 from ..exceptions import AcquisitionError
 from ..features.feature_manager import ExtractionReport, FeatureManager
 from ..models.model_manager import ModelManager
@@ -67,6 +67,7 @@ class ActiveLearningManager:
         alm_config: ALMConfig | None = None,
         selection_config: FeatureSelectionConfig | None = None,
         seed: int = 0,
+        index_config: IndexConfig | None = None,
     ) -> None:
         self.videos = video_store
         self.labels = label_store
@@ -76,13 +77,21 @@ class ActiveLearningManager:
         self.selection_config = (
             selection_config if selection_config is not None else FeatureSelectionConfig()
         )
+        self.index_config = index_config if index_config is not None else IndexConfig()
         self.rng = np.random.default_rng(seed)
 
         self.skew_detector = SkewDetector(self.config)
         self.bandit = RisingBanditSelector(candidate_features, self.selection_config)
         self._random = RandomAcquisition(feature_manager.sampler)
-        self._coreset = CoresetAcquisition()
-        self._cluster_margin = ClusterMarginAcquisition()
+        self._coreset = CoresetAcquisition(
+            index_backend=self.index_config.backend,
+            index_params=self.index_config.params(),
+            seed=seed,
+        )
+        self._cluster_margin = ClusterMarginAcquisition(
+            index_backend=self.index_config.backend,
+            index_params=self.index_config.params(),
+        )
         self._rare_category = RareCategoryUncertaintyAcquisition()
         self._iteration = 0
         self._last_skew: SkewDecision | None = None

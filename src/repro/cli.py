@@ -1,17 +1,20 @@
 """Command-line interface for the VOCALExplore reproduction.
 
-Provides three subcommands:
+Provides four subcommands:
 
 * ``repro-vocal datasets`` — print the Table 2 dataset statistics.
 * ``repro-vocal explore``  — run an interactive-style labeling session with a
   simulated oracle user on one of the catalog datasets and print the per-step
   F1 / latency trajectory.
+* ``repro-vocal search``   — "find clips like this": similarity search over
+  the feature store through a selectable vector-index backend.
 * ``repro-vocal experiment`` — regenerate one of the paper's tables or figures
   and print its rows.
 
 Example::
 
     python -m repro.cli explore --dataset k20-skew --steps 20 --strategy ve-full
+    python -m repro.cli search --dataset deer --vid 0 --start 0 --end 1 --backend ivf-flat
     python -m repro.cli experiment --name fig3 --dataset k20-skew --steps 10
 """
 
@@ -68,6 +71,23 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--label-noise", type=float, default=0.0)
     explore.add_argument("--seed", type=int, default=0)
 
+    search = subparsers.add_parser("search", help='similarity search ("find clips like this")')
+    search.add_argument("--dataset", choices=DATASET_NAMES, default="deer")
+    search.add_argument("--vid", type=int, default=None, help="query video id (default: first)")
+    search.add_argument("--start", type=float, default=0.0)
+    search.add_argument("--end", type=float, default=1.0)
+    search.add_argument("-k", "--k", type=int, default=5, help="number of neighbours")
+    search.add_argument(
+        "--backend", choices=("exact", "ivf-flat", "lsh"), default="exact",
+        help="vector-index backend (repro.index)",
+    )
+    search.add_argument(
+        "--pool-videos", type=int, default=50,
+        help="videos whose features form the searchable pool",
+    )
+    search.add_argument("--feature", default=None, help="fix the feature extractor")
+    search.add_argument("--seed", type=int, default=0)
+
     experiment = subparsers.add_parser("experiment", help="regenerate a table or figure")
     experiment.add_argument(
         "--name",
@@ -123,6 +143,45 @@ def _run_explore(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_search(args: argparse.Namespace) -> str:
+    from .config import ALMConfig, IndexConfig, VocalExploreConfig
+    from .core.api import VOCALExplore
+    from .datasets.catalog import build_dataset
+
+    dataset = build_dataset(args.dataset, seed=args.seed)
+    config = VocalExploreConfig(seed=args.seed).with_updates(
+        alm=ALMConfig(candidate_pool_size=args.pool_videos),
+        index=IndexConfig(backend=args.backend),
+    )
+    vocal = VOCALExplore.for_dataset(dataset, config=config)
+    vid = args.vid if args.vid is not None else dataset.train_corpus.vids()[0]
+
+    hits = vocal.search((vid, args.start, args.end), k=args.k, feature_name=args.feature)
+    feature = args.feature or vocal.current_feature()
+    rows = [
+        {
+            "rank": rank,
+            "vid": hit.vid,
+            "start": round(hit.start, 2),
+            "end": round(hit.end, 2),
+            "sq_distance": round(hit.distance, 4),
+        }
+        for rank, hit in enumerate(hits, start=1)
+    ]
+    lines = [
+        format_table(
+            rows,
+            title=(
+                f"Clips like video {vid} [{args.start:.1f}s, {args.end:.1f}s] "
+                f"({feature} features, {args.backend} index)"
+            ),
+        ),
+        "",
+        f"visible latency charged: {vocal.cumulative_visible_latency():.2f} s",
+    ]
+    return "\n".join(lines)
+
+
 def _run_experiment(args: argparse.Namespace) -> str:
     name = args.name
     if name == "table2":
@@ -156,6 +215,7 @@ def _run_experiment(args: argparse.Namespace) -> str:
 _HANDLERS: dict[str, Callable[[argparse.Namespace], str]] = {
     "datasets": _run_datasets,
     "explore": _run_explore,
+    "search": _run_search,
     "experiment": _run_experiment,
 }
 

@@ -24,6 +24,7 @@ __all__ = [
     "SchedulerConfig",
     "ModelConfig",
     "ExploreConfig",
+    "IndexConfig",
     "VocalExploreConfig",
 ]
 
@@ -154,6 +155,55 @@ class ExploreConfig:
 
 
 @dataclass(frozen=True)
+class IndexConfig:
+    """Vector-index subsystem (``repro.index``) used for nearest-neighbour math.
+
+    The exact backend reproduces brute-force results bit-for-bit; the ANN
+    backends trade recall for sub-linear search over large candidate pools.
+    """
+
+    #: Index backend: "exact" (default, the correctness oracle), "ivf-flat",
+    #: or "lsh".
+    backend: str = "exact"
+    #: IVF coarse-cell count; None derives ``round(sqrt(n))`` at build time.
+    nlist: int | None = None
+    #: IVF cells probed per query (recall/speed knob).
+    nprobe: int = 8
+    #: IVF re-trains once incremental adds exceed this fraction of the
+    #: trained size.
+    retrain_factor: float = 0.5
+    #: LSH hash tables and signature bits per table.
+    lsh_tables: int = 8
+    lsh_bits: int = 12
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("exact", "ivf-flat", "lsh"):
+            raise ValueError(f"unknown index backend {self.backend!r}")
+        if self.nlist is not None and self.nlist < 1:
+            raise ValueError("nlist must be >= 1")
+        if self.nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        if self.retrain_factor <= 0:
+            raise ValueError("retrain_factor must be > 0")
+        if self.lsh_tables < 1:
+            raise ValueError("lsh_tables must be >= 1")
+        if not 1 <= self.lsh_bits <= 62:
+            raise ValueError("lsh_bits must be in [1, 62]")
+
+    def params(self) -> dict[str, Any]:
+        """Constructor kwargs for ``repro.index.build_index`` (seed excluded)."""
+        if self.backend == "ivf-flat":
+            return {
+                "nlist": self.nlist,
+                "nprobe": self.nprobe,
+                "retrain_factor": self.retrain_factor,
+            }
+        if self.backend == "lsh":
+            return {"num_tables": self.lsh_tables, "num_bits": self.lsh_bits}
+        return {}
+
+
+@dataclass(frozen=True)
 class VocalExploreConfig:
     """Top-level configuration combining every subsystem."""
 
@@ -162,6 +212,7 @@ class VocalExploreConfig:
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     model: ModelConfig = field(default_factory=ModelConfig)
     explore: ExploreConfig = field(default_factory=ExploreConfig)
+    index: IndexConfig = field(default_factory=IndexConfig)
     #: Random seed driving sampling, synthetic data, and model initialisation.
     seed: int = 0
 
@@ -172,7 +223,7 @@ class VocalExploreConfig:
 
             config.with_updates(scheduler=SchedulerConfig(strategy="serial"), seed=7)
         """
-        valid = {"alm", "feature_selection", "scheduler", "model", "explore", "seed"}
+        valid = {"alm", "feature_selection", "scheduler", "model", "explore", "index", "seed"}
         unknown = set(sections) - valid
         if unknown:
             raise ValueError(f"unknown config sections: {sorted(unknown)}")

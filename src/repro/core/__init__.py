@@ -2,13 +2,14 @@
 
 from .api import VOCALExplore
 from .oracle import NoisyOracleUser, OracleUser
-from .session import ExplorationSession, ExploreResult, IterationSummary
+from .session import ExplorationSession, ExploreResult, IterationSummary, SearchHit
 
 __all__ = [
     "VOCALExplore",
     "ExplorationSession",
     "ExploreResult",
     "IterationSummary",
+    "SearchHit",
     "OracleUser",
     "NoisyOracleUser",
 ]

@@ -33,7 +33,7 @@ from ..types import VideoSegment
 from ..video.corpus import VideoCorpus
 from ..video.decoder import Decoder
 from ..video.sampler import ClipSampler
-from .session import ExplorationSession, ExploreResult, IterationSummary
+from .session import ExplorationSession, ExploreResult, IterationSummary, SearchHit
 
 __all__ = ["VOCALExplore"]
 
@@ -101,6 +101,7 @@ class VOCALExplore:
             config.alm,
             config.feature_selection,
             seed=config.seed,
+            index_config=config.index,
         )
         session = ExplorationSession(
             corpus, storage, feature_manager, model_manager, alm, config, cost_model
@@ -144,6 +145,18 @@ class VOCALExplore:
     def add_video(self, path: str, duration: float, start_time: float = 0.0, fps: float = 30.0) -> int:
         """Register a new video as a candidate for labels and predictions."""
         return self._session.add_video(path, duration, start_time, fps)
+
+    # -------------------------------------------------------- similarity search
+    def search(self, query, k: int = 10, feature_name: str | None = None) -> list[SearchHit]:
+        """Find the ``k`` stored clips most similar to ``query``.
+
+        ``query`` is a clip — a ``(vid, start, end)`` tuple or a ``ClipSpec``
+        — or a raw feature vector (numpy array or list).  Runs through the
+        configured ``repro.index`` backend (exact by default, ANN via
+        ``config.index``) with its latency charged against the simulated
+        clock.
+        """
+        return self._session.search(query, k=k, feature_name=feature_name)
 
     # -------------------------------------------------------------- statistics
     def finish_iteration(self) -> IterationSummary:

@@ -40,7 +40,7 @@ from ..types import ClipSpec, Label, VideoSegment
 from ..video.corpus import VideoCorpus
 from ..video.sampler import ClipSampler
 
-__all__ = ["ExploreResult", "IterationSummary", "ExplorationSession"]
+__all__ = ["ExploreResult", "IterationSummary", "SearchHit", "ExplorationSession"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,27 @@ class ExploreResult:
     acquisition: str
     feature_name: str | None
     visible_latency: float
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One similarity-search result: a stored clip and its distance to the query."""
+
+    clip: ClipSpec
+    #: Squared L2 distance in the feature space of the searched extractor.
+    distance: float
+
+    @property
+    def vid(self) -> int:
+        return self.clip.vid
+
+    @property
+    def start(self) -> float:
+        return self.clip.start
+
+    @property
+    def end(self) -> float:
+        return self.clip.end
 
 
 @dataclass
@@ -162,6 +183,88 @@ class ExplorationSession:
         self._charge_foreground_extraction(feature, clips)
         predictions = self._predict(feature, clips, charge=True)
         return [VideoSegment(clip=clip, prediction=pred) for clip, pred in zip(clips, predictions)]
+
+    def search(
+        self,
+        query: ClipSpec | Sequence[float] | np.ndarray,
+        k: int = 10,
+        feature_name: str | None = None,
+    ) -> list[SearchHit]:
+        """Find the ``k`` stored clips most similar to ``query`` ("clips like this").
+
+        ``query`` is either a clip — a :class:`ClipSpec` or a ``(vid, start,
+        end)`` **tuple**, whose feature is extracted on demand (charged as
+        T_f) — or a raw feature vector (numpy array or list) in the
+        extractor's space.  The search runs
+        over every vector stored for the extractor through the shard's
+        ``repro.index`` backend (chosen by ``config.index``) and is charged as
+        a T_s-style foreground task, so similarity exploration shows up in
+        visible-latency accounting like any other user-facing call.
+
+        When fewer than ``k`` vectors are stored, a candidate pool of
+        ``config.alm.candidate_pool_size`` videos is extracted first (charged
+        as T_f), mirroring how Explore grows its pool.  A clip query that is
+        itself stored is excluded from its own results.
+
+        Raises:
+            ReproError: when ``k < 1`` or no features can be produced.
+        """
+        if k < 1:
+            raise ReproError(f"k must be >= 1, got {k}")
+        feature = feature_name if feature_name is not None else self.alm.current_feature()
+        store = self.storage.features
+
+        # Only ClipSpec and 3-tuples are clip queries; lists and arrays are
+        # always raw vectors, so a 3-d feature vector is never silently
+        # reinterpreted as (vid, start, end).
+        query_clip: ClipSpec | None = None
+        if isinstance(query, ClipSpec):
+            query_clip = query
+        elif isinstance(query, tuple) and len(query) == 3:
+            query_clip = ClipSpec(int(query[0]), float(query[1]), float(query[2]))
+
+        if store.count(feature) <= k:
+            report = self.alm.ensure_candidate_pool(feature, self.config.alm.candidate_pool_size)
+            if report.videos_touched:
+                self._charge_extraction_batch(feature, report.videos_touched)
+
+        if query_clip is not None:
+            self._charge_foreground_extraction(feature, [query_clip])
+            query_vector = store.matrix(feature, [query_clip])[0]
+        else:
+            query_vector = np.asarray(query, dtype=np.float64)
+            if query_vector.ndim != 1:
+                raise ReproError(
+                    f"vector query must be 1-D, got shape {query_vector.shape}"
+                )
+
+        num_vectors = store.count(feature)
+        if num_vectors == 0:
+            raise ReproError(f"no {feature} features available to search")
+
+        index = self.config.index
+        store.attach_index(feature, index.backend, seed=self.config.seed, **index.params())
+        approximate = index.backend != "exact"
+        self.scheduler.run_foreground(
+            Task(
+                kind=TaskKind.VECTOR_SEARCH,
+                duration=self.cost_model.search_time(1, num_vectors, approximate),
+                description=f"search top-{k} of {num_vectors} {feature} vectors",
+            )
+        )
+
+        # Ask for one extra neighbour so the query clip can be dropped from
+        # its own results without shrinking the answer.
+        exclude = (
+            store.resolve_clips(feature, [query_clip])[0] if query_clip is not None else None
+        )
+        distances, rows = store.search(feature, query_vector, k + (exclude is not None))
+        hits: list[SearchHit] = []
+        for distance, clip in zip(distances[0], store.clips_at(feature, rows[0])):
+            if clip is None or clip == exclude:
+                continue
+            hits.append(SearchHit(clip=clip, distance=float(distance)))
+        return hits[:k]
 
     # ----------------------------------------------------------------- explore
     def explore(
@@ -282,6 +385,9 @@ class ExplorationSession:
             smax=self.storage.labels.diversity_smax(),
         )
         self._summaries.append(summary)
+        # Freeze the record: user-facing calls between iterations (watch,
+        # search) must not mutate latency figures already reported here.
+        self.scheduler.close_iteration()
         return summary
 
     # ------------------------------------------------------------ cost charging

@@ -52,6 +52,10 @@ class MissingFeatureError(FeatureError):
     """Raised when a requested feature vector has not been extracted yet."""
 
 
+class VectorIndexError(ReproError):
+    """Raised by the vector-index subsystem (``repro.index``)."""
+
+
 class ModelError(ReproError):
     """Raised by the model manager."""
 

@@ -22,6 +22,7 @@ Frame handling differs by extractor exactly as in the paper:
 
 from __future__ import annotations
 
+import zlib
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -128,7 +129,9 @@ class SimulatedExtractor(FeatureExtractor):
         self.pooling = pooling
         self.latent_dim = int(latent_dim)
 
-        rng = np.random.default_rng((seed, hash(spec.name) & 0xFFFF))
+        # zlib.crc32 is a stable per-name salt; Python's hash() is randomised
+        # per process, which would make "seeded" features differ across runs.
+        rng = np.random.default_rng((seed, zlib.crc32(spec.name.encode()) & 0xFFFF))
         projection = rng.standard_normal((self.latent_dim, spec.dim)) / np.sqrt(self.latent_dim)
         self._projection = projection
         # Distractor directions: clip-specific noise is injected through a

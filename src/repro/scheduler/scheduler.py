@@ -51,6 +51,7 @@ class TaskScheduler:
         self._completed: list[CompletedTask] = []
         self._iterations: list[IterationLatency] = []
         self._current: IterationLatency | None = None
+        self._finalised = False
         self.idle_task_factory: Callable[[], Task | None] | None = None
 
     # ------------------------------------------------------------- iterations
@@ -58,7 +59,17 @@ class TaskScheduler:
         """Start latency accounting for one Explore iteration."""
         self._current = IterationLatency(iteration=iteration)
         self._iterations.append(self._current)
+        self._finalised = False
         return self._current
+
+    def close_iteration(self) -> None:
+        """Freeze the current record once its summary has been reported.
+
+        Foreground work arriving after the close (a ``watch`` or ``search``
+        between Explore calls) opens a fresh overflow record carrying the same
+        iteration number, so already-reported records never change.
+        """
+        self._finalised = True
 
     @property
     def current_iteration(self) -> IterationLatency:
@@ -80,13 +91,19 @@ class TaskScheduler:
 
     # ------------------------------------------------------------- foreground
     def run_foreground(self, task: Task) -> CompletedTask:
-        """Run a task synchronously; its duration becomes visible latency."""
+        """Run a task synchronously; its duration becomes visible latency.
+
+        Work arriving before the first ``begin_iteration`` or after a
+        ``close_iteration`` opens its own accounting record instead of
+        mutating a missing or already-reported one.
+        """
+        if self._current is None or self._finalised:
+            self.begin_iteration(self._current.iteration if self._current is not None else 0)
         task.work(task.remaining)
         self.clock.advance(task.duration)
         record = task.complete(self.clock.now)
         self._completed.append(record)
-        if self._current is not None:
-            self._current.add_visible(task.kind, task.duration)
+        self._current.add_visible(task.kind, task.duration)
         return record
 
     # ------------------------------------------------------------- background
@@ -135,6 +152,10 @@ class TaskScheduler:
         """
         if duration < 0:
             raise SchedulerError(f"window duration must be >= 0, got {duration}")
+        if self._current is None or self._finalised:
+            # Same freeze contract as run_foreground: never charge into a
+            # missing or already-reported record.
+            self.begin_iteration(self._current.iteration if self._current is not None else 0)
         window_start = self.clock.now
         window_end = window_start + duration
         completed: list[CompletedTask] = []
@@ -187,6 +208,10 @@ class TaskScheduler:
         """
         completed: list[CompletedTask] = []
         budget = float("inf") if time_limit is None else float(time_limit)
+        if self._queue and (self._current is None or self._finalised):
+            # Same freeze contract as run_foreground: never charge into a
+            # missing or already-reported record.
+            self.begin_iteration(self._current.iteration if self._current is not None else 0)
         while self._queue and budget > 1e-9:
             task = self._pop_available(self.clock.now)
             if task is None:

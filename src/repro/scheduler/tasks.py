@@ -3,7 +3,9 @@
 The paper enumerates five task types (Section 4): feature extraction (T_f),
 model training (T_m), model inference (T_i), feature evaluation (T_e), and
 sample selection (T_s), plus the low-priority eager feature extraction tasks
-(T_f-) introduced by the VE-full strategy.
+(T_f-) introduced by the VE-full strategy.  This reproduction adds a
+T_s-style vector-search task for the similarity-search workload so its
+latency is charged through the same scheduler accounting.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ class TaskKind:
     MODEL_TRAINING = "model_training"            # T_m
     FEATURE_EVALUATION = "feature_evaluation"    # T_e
     EAGER_FEATURE_EXTRACTION = "eager_feature_extraction"  # T_f-
+    VECTOR_SEARCH = "vector_search"              # T_s-style similarity search
 
     ALL = (
         SAMPLE_SELECTION,
@@ -34,6 +37,7 @@ class TaskKind:
         MODEL_TRAINING,
         FEATURE_EVALUATION,
         EAGER_FEATURE_EXTRACTION,
+        VECTOR_SEARCH,
     )
 
 
@@ -52,6 +56,7 @@ class TaskPriority:
         TaskKind.FEATURE_EXTRACTION: FEATURE_EXTRACTION,
         TaskKind.SAMPLE_SELECTION: FEATURE_EXTRACTION,
         TaskKind.MODEL_INFERENCE: FEATURE_EXTRACTION,
+        TaskKind.VECTOR_SEARCH: FEATURE_EXTRACTION,
         TaskKind.EAGER_FEATURE_EXTRACTION: EAGER,
     }
 

@@ -15,7 +15,12 @@ Lookup paths:
   index (``np.searchsorted``), with ties broken toward the earlier midpoint
   and, among identical midpoints, the first-inserted row;
 * ``matrix``/``get_many``/``has_many`` resolve whole clip batches at once and
-  gather rows from the columnar matrix in one fancy-indexing operation.
+  gather rows from the columnar matrix in one fancy-indexing operation;
+* similarity search over the vector *contents* goes through a per-shard
+  ``repro.index`` vector index (``attach_index``/``search``) that, like the
+  sorted-midpoint index, is built lazily and kept in sync with writes —
+  appended rows are folded in incrementally on the next search, and loads
+  drop the index entirely.
 
 Persistence writes one ``.npz`` per extractor straight from the columnar
 arrays and restores them without row-by-row re-insertion.  Empty shards are
@@ -31,6 +36,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..exceptions import MissingFeatureError
+from ..index import VectorIndex, build_index
 from ..types import ClipSpec, FeatureVector
 
 __all__ = ["FeatureStore"]
@@ -85,6 +91,11 @@ class _ExtractorShard:
         #: lazily built (vids, midpoints, rows) arrays sorted by (vid, mid, row),
         #: shared by every nearest lookup; invalidated by writes
         self._gsort: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        #: lazily built vector index over the matrix rows; appended rows are
+        #: folded in incrementally on the next search, loads drop it
+        self._vindex: VectorIndex | None = None
+        self._vindex_spec: tuple[str, dict] = ("exact", {})
+        self._vindex_rows = 0
 
     def __len__(self) -> int:
         return self._n
@@ -245,6 +256,8 @@ class _ExtractorShard:
         for i, vid in enumerate(vid_list):
             self._vid_rows.setdefault(vid, []).append(i)
         self._gsort = None
+        self._vindex = None
+        self._vindex_rows = 0
 
     # ----------------------------------------------------------------- reads
     def has(self, clip: ClipSpec) -> bool:
@@ -326,18 +339,71 @@ class _ExtractorShard:
         row = int(self.nearest_rows(np.array([clip.vid]), np.array([clip.midpoint]))[0])
         return self.clip_at(row), self._matrix[row].copy()
 
+    # --------------------------------------------------------- vector search
+    def attach_index(self, backend: str, **params) -> None:
+        """Choose the vector-index backend for this shard's similarity search.
+
+        Idempotent when the spec is unchanged; a different spec drops the
+        built index so the next :meth:`search` rebuilds with the new backend.
+        """
+        spec = (backend, dict(params))
+        if spec == self._vindex_spec:
+            return
+        self._vindex_spec = spec
+        self._vindex = None
+        self._vindex_rows = 0
+
+    @property
+    def index_backend(self) -> str:
+        """Backend name the next :meth:`search` will use (default "exact")."""
+        return self._vindex_spec[0]
+
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Batched k-NN over the stored vectors; returns ``(sq_distances, rows)``.
+
+        The index is built lazily on first use and kept in sync with writes:
+        rows appended since the last search are folded in with the index's
+        incremental ``add`` (ANN backends may re-train themselves), and
+        :meth:`adopt_columns` drops the index entirely.
+
+        Raises:
+            MissingFeatureError: when the shard holds no vectors.
+        """
+        if self._n == 0:
+            raise MissingFeatureError(f"no {self.fid} features stored to search")
+        if self._vindex is None:
+            backend, params = self._vindex_spec
+            self._vindex = build_index(backend, **params)
+            self._vindex.build(self.matrix)
+            self._vindex_rows = self._n
+        elif self._vindex_rows < self._n:
+            self._vindex.add(self._matrix[self._vindex_rows : self._n])
+            self._vindex_rows = self._n
+        return self._vindex.search(queries, k)
+
 
 class FeatureStore:
     """Feature vectors grouped by extractor name (the paper's ``fid``)."""
 
     def __init__(self) -> None:
         self._shards: dict[str, _ExtractorShard] = {}
+        #: index specs attached before the extractor has any shard; applied
+        #: when the shard is created so attach never fabricates extractors()
+        self._pending_index: dict[str, tuple[str, dict]] = {}
+
+    def _get_or_create_shard(self, fid: str) -> _ExtractorShard:
+        shard = self._shards.get(fid)
+        if shard is None:
+            shard = self._shards[fid] = _ExtractorShard(fid)
+            spec = self._pending_index.pop(fid, None)
+            if spec is not None:
+                shard.attach_index(spec[0], **spec[1])
+        return shard
 
     # ------------------------------------------------------------------ writes
     def add(self, feature: FeatureVector) -> bool:
         """Store one feature vector; returns False when it was already stored."""
-        shard = self._shards.setdefault(feature.fid, _ExtractorShard(feature.fid))
-        return shard.add(feature.clip, feature.vector)
+        return self._get_or_create_shard(feature.fid).add(feature.clip, feature.vector)
 
     def add_many(self, features: Iterable[FeatureVector]) -> int:
         """Store several feature vectors; returns how many were new."""
@@ -357,8 +423,7 @@ class FeatureStore:
         clip columns.  Exact duplicates (already stored or repeated within the
         batch) are skipped, matching :meth:`add`.
         """
-        shard = self._shards.setdefault(fid, _ExtractorShard(fid))
-        return shard.add_batch(vids, starts, ends, vectors)
+        return self._get_or_create_shard(fid).add_batch(vids, starts, ends, vectors)
 
     # ------------------------------------------------------------------- reads
     def extractors(self) -> list[str]:
@@ -524,6 +589,48 @@ class FeatureStore:
         """
         shard = self._shard(fid)
         return shard.vids, shard.starts, shard.ends, shard.matrix
+
+    # ---------------------------------------------------------- vector search
+    def attach_index(self, fid: str, backend: str = "exact", **params) -> None:
+        """Choose the similarity-search backend for ``fid`` (see ``repro.index``).
+
+        May be called before any vector is stored: the spec is held aside and
+        applied when ``fid``'s shard is first written, so a configuration call
+        never fabricates an extractor in :meth:`extractors` or the persistence
+        manifest.  Re-attaching the same spec is a no-op, so callers can
+        attach unconditionally.
+        """
+        shard = self._shards.get(fid)
+        if shard is not None:
+            shard.attach_index(backend, **params)
+        else:
+            self._pending_index[fid] = (backend, dict(params))
+
+    def index_backend(self, fid: str) -> str:
+        """Backend name ``fid``'s next search will use ("exact" by default)."""
+        shard = self._shards.get(fid)
+        if shard is not None:
+            return shard.index_backend
+        pending = self._pending_index.get(fid)
+        return pending[0] if pending is not None else "exact"
+
+    def search(self, fid: str, queries: np.ndarray, k: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        """k-NN over ``fid``'s stored vectors: ``(squared_distances, rows)``.
+
+        ``queries`` is one ``(d,)`` vector or a ``(q, d)`` batch; both returned
+        arrays have shape ``(q, k)``, with rows short of ``k`` neighbours
+        padded by ``inf``/``-1``.  Row indices convert to clips via
+        :meth:`clips_at`.
+
+        Raises:
+            MissingFeatureError: when the extractor is unknown or empty.
+        """
+        return self._shard(fid).search(queries, k)
+
+    def clips_at(self, fid: str, rows: Iterable[int]) -> list[ClipSpec | None]:
+        """Clips stored at ``rows`` for ``fid``; ``None`` for -1 (search padding)."""
+        shard = self._shard(fid)
+        return [None if row < 0 else shard.clip_at(int(row)) for row in rows]
 
     def _shard(self, fid: str) -> _ExtractorShard:
         shard = self._shards.get(fid)

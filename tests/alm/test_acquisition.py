@@ -69,6 +69,17 @@ class TestKMeans:
         result = kmeans(rng.standard_normal((25, 4)), 3, rng=rng)
         assert result.inertia >= 0.0
 
+    def test_ann_backend_misses_fall_back_to_exact(self):
+        # LSH over a tiny centroid set routinely returns the -1/inf
+        # no-neighbour sentinel; every point must still get an assignment.
+        rng = np.random.default_rng(3)
+        points = rng.standard_normal((50, 8))
+        for k in (1, 2, 5):
+            result = kmeans(points, k, rng=np.random.default_rng(0), index_backend="lsh")
+            assert (result.assignments >= 0).all()
+            assert (result.assignments < result.num_clusters).all()
+            assert np.isfinite(result.inertia)
+
 
 class TestRandomAcquisition:
     def test_selects_requested_count(self, rng):
@@ -134,6 +145,42 @@ class TestCoresetAcquisition:
         )
         with pytest.raises(AcquisitionError):
             CoresetAcquisition().select(context, 1, rng)
+
+    def test_index_init_matches_difference_tensor(self, rng):
+        # The labeled-distance initialisation runs a 1-NN search through the
+        # index instead of materialising the seed's (n, L, d) tensor; the
+        # selections must be identical.
+        feat_rng = np.random.default_rng(17)
+        features = feat_rng.standard_normal((80, 6))
+        labeled = feat_rng.standard_normal((12, 6))
+        context = AcquisitionContext(
+            candidates=[ClipSpec(i, 0.0, 1.0) for i in range(80)],
+            candidate_features=features,
+            labeled_clips=[ClipSpec(1000 + i, 0.0, 1.0) for i in range(12)],
+            labeled_features=labeled,
+        )
+        clips = CoresetAcquisition().select(context, 10, rng)
+
+        distances = np.min(
+            np.linalg.norm(features[:, None, :] - labeled[None, :, :], axis=2), axis=1
+        )
+        chosen = []
+        for __ in range(10):
+            nxt = int(np.argmax(distances))
+            chosen.append(nxt)
+            distances = np.minimum(
+                distances, np.linalg.norm(features - features[nxt], axis=1)
+            )
+            distances[nxt] = -np.inf
+        assert [clip.vid for clip in clips] == chosen
+
+    def test_ann_backend_selects_requested_count(self, rng):
+        context = make_context(num_candidates=60, dim=8, seed=21)
+        context.labeled_features = np.random.default_rng(5).standard_normal((30, 8))
+        clips = CoresetAcquisition(
+            index_backend="ivf-flat", index_params={"nprobe": 2}, seed=0
+        ).select(context, 5, rng)
+        assert len(clips) == 5
 
 
 class TestClusterMarginAcquisition:

@@ -35,6 +35,49 @@ class TestForeground:
         with pytest.raises(SchedulerError):
             scheduler.current_iteration
 
+    def test_foreground_before_begin_opens_own_record(self):
+        scheduler = TaskScheduler()
+        scheduler.run_foreground(Task(TaskKind.VECTOR_SEARCH, 0.5))
+        assert scheduler.current_iteration.visible_latency == pytest.approx(0.5)
+        assert scheduler.cumulative_visible_latency() == pytest.approx(0.5)
+
+    def test_closed_iteration_record_is_frozen(self):
+        scheduler = make_scheduler()
+        scheduler.run_foreground(Task(TaskKind.SAMPLE_SELECTION, 1.0))
+        closed = scheduler.current_iteration
+        scheduler.close_iteration()
+        scheduler.run_foreground(Task(TaskKind.VECTOR_SEARCH, 0.25))
+        # The reported record did not change; an overflow record absorbed the
+        # late work under the same iteration number.
+        assert closed.visible_latency == pytest.approx(1.0)
+        assert TaskKind.VECTOR_SEARCH not in closed.visible_by_kind
+        overflow = scheduler.current_iteration
+        assert overflow is not closed
+        assert overflow.iteration == closed.iteration
+        assert scheduler.cumulative_visible_latency() == pytest.approx(1.25)
+
+    def test_background_window_respects_closed_record(self):
+        scheduler = make_scheduler()
+        scheduler.run_foreground(Task(TaskKind.SAMPLE_SELECTION, 1.0))
+        closed = scheduler.current_iteration
+        scheduler.close_iteration()
+        scheduler.submit(Task(TaskKind.MODEL_TRAINING, 2.0))
+        scheduler.run_background_window(5.0)
+        assert closed.background_time_used == pytest.approx(0.0)
+        assert scheduler.current_iteration is not closed
+        assert scheduler.current_iteration.background_time_used == pytest.approx(2.0)
+
+    def test_drain_respects_closed_record(self):
+        scheduler = make_scheduler()
+        scheduler.run_foreground(Task(TaskKind.SAMPLE_SELECTION, 1.0))
+        closed = scheduler.current_iteration
+        scheduler.close_iteration()
+        scheduler.submit(Task(TaskKind.MODEL_TRAINING, 2.0))
+        scheduler.drain()
+        assert closed.visible_latency == pytest.approx(1.0)
+        assert scheduler.current_iteration is not closed
+        assert scheduler.cumulative_visible_latency() == pytest.approx(3.0)
+
 
 class TestBackgroundWindow:
     def test_tasks_run_in_priority_order(self):
