@@ -14,6 +14,7 @@ Provides four subcommands:
 Example::
 
     python -m repro.cli explore --dataset k20-skew --steps 20 --strategy ve-full
+    python -m repro.cli explore --dataset deer --engine threads --workers 4 --time-scale 0.001
     python -m repro.cli search --dataset deer --vid 0 --start 0 --end 1 --backend ivf-flat
     python -m repro.cli experiment --name fig3 --dataset k20-skew --steps 10
 """
@@ -25,6 +26,7 @@ import sys
 from typing import Callable, Sequence
 
 from .datasets.catalog import DATASET_NAMES
+from .scheduler.engine import ENGINE_NAMES
 from .experiments import (
     format_series,
     format_table,
@@ -69,6 +71,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="fix the acquisition function instead of VE-sample",
     )
     explore.add_argument("--label-noise", type=float, default=0.0)
+    explore.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="simulated",
+        help="execution backend: deterministic simulated clock or a real worker pool",
+    )
+    explore.add_argument(
+        "--workers", type=int, default=4,
+        help="worker-pool size for --engine threads",
+    )
+    explore.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="wall seconds per cost-model second for --engine threads "
+        "(use e.g. 0.001 to compress a session into milliseconds)",
+    )
     explore.add_argument("--seed", type=int, default=0)
 
     search = subparsers.add_parser("search", help='similarity search ("find clips like this")')
@@ -119,9 +134,16 @@ def _run_explore(args: argparse.Namespace) -> str:
         force_feature=args.feature,
         force_acquisition=args.acquisition,
         label_noise=args.label_noise,
+        engine=args.engine,
+        num_workers=args.workers,
+        time_scale=args.time_scale,
         seed=args.seed,
     )
-    result = SessionRunner(dataset, config).run()
+    runner = SessionRunner(dataset, config)
+    try:
+        result = runner.run()
+    finally:
+        runner.close()
     rows = [
         {
             "step": step.step,

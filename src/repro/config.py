@@ -94,7 +94,14 @@ class FeatureSelectionConfig:
 
 @dataclass(frozen=True)
 class SchedulerConfig:
-    """Task-scheduler behaviour (Section 4)."""
+    """Task-scheduler behaviour (Section 4) and execution backend.
+
+    ``strategy`` decides *what* is deferred to the labeling window;
+    ``engine`` decides *how* deferred work executes — against the
+    deterministic simulated clock (``"simulated"``, the default every
+    experiment uses) or on a real worker pool (``"threads"``).  See
+    ``docs/SCHEDULER.md`` ("Choosing an engine") for guidance.
+    """
 
     #: Scheduling strategy: "serial", "ve-partial", or "ve-full".
     strategy: str = "ve-full"
@@ -107,6 +114,15 @@ class SchedulerConfig:
     #: Hard cap on eagerly processed videos (the "guardrail" in Section 4.2);
     #: ``None`` means no cap.
     eager_video_limit: int | None = None
+    #: Execution backend: "simulated" (deterministic discrete-event clock) or
+    #: "threads" (real ``concurrent.futures`` worker pool).
+    engine: str = "simulated"
+    #: Worker-pool size for the "threads" engine (ignored by "simulated").
+    num_workers: int = 4
+    #: Wall seconds one cost-model second takes on the "threads" engine; 1.0
+    #: means real time, small values (e.g. 1e-3) compress seeded workloads
+    #: into milliseconds for benchmarks and tests.
+    time_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.strategy not in ("serial", "ve-partial", "ve-full"):
@@ -115,6 +131,16 @@ class SchedulerConfig:
             raise ValueError("user_labeling_time must be >= 0")
         if self.eager_batch_size < 1:
             raise ValueError("eager_batch_size must be >= 1")
+        # Local import: config is imported by the scheduler package, so the
+        # canonical engine-name list can only be pulled in lazily.
+        from .scheduler.engine import ENGINE_NAMES
+
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(f"unknown execution engine {self.engine!r}; known: {list(ENGINE_NAMES)}")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be > 0")
 
 
 @dataclass(frozen=True)

@@ -124,6 +124,20 @@ class VOCALExplore:
         """The underlying exploration session (full access for experiments)."""
         return self._session
 
+    def close(self) -> None:
+        """Release execution-engine resources; required for the threads engine.
+
+        ``VOCALExplore`` is also a context manager, so ``with
+        VOCALExplore.for_dataset(...) as vocal:`` closes automatically.
+        """
+        self._session.close()
+
+    def __enter__(self) -> "VOCALExplore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ---------------------------------------------------------------- Table 1
     def watch(self, vid: int, start: float, end: float) -> list[VideoSegment]:
         """Return consecutive clips of the requested window with predicted labels."""

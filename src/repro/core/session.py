@@ -20,6 +20,7 @@ and 8 without requiring the authors' GPU testbed.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -30,8 +31,8 @@ from ..config import VocalExploreConfig
 from ..exceptions import ReproError
 from ..features.feature_manager import FeatureManager
 from ..models.model_manager import ModelManager
-from ..scheduler.clock import SimulatedClock
 from ..scheduler.cost_model import CostModel
+from ..scheduler.engine import build_engine
 from ..scheduler.scheduler import TaskScheduler
 from ..scheduler.strategies import StrategyBehaviour, strategy_behaviour
 from ..scheduler.tasks import Task, TaskKind
@@ -113,8 +114,16 @@ class ExplorationSession:
         self.config = config
         self.cost_model = cost_model if cost_model is not None else CostModel()
 
-        self.clock = SimulatedClock()
-        self.scheduler = TaskScheduler(self.clock)
+        engine = build_engine(
+            config.scheduler.engine,
+            num_workers=config.scheduler.num_workers,
+            time_scale=config.scheduler.time_scale,
+        )
+        self.scheduler = TaskScheduler(engine=engine)
+        self.clock = self.scheduler.clock
+        shard_pool = engine.shard_executor()
+        if shard_pool is not None:
+            feature_manager.set_shard_executor(shard_pool)
         self.behaviour: StrategyBehaviour = strategy_behaviour(config.scheduler)
         self.sampler: ClipSampler = feature_manager.sampler
 
@@ -134,9 +143,32 @@ class ExplorationSession:
         self._round_expected: set[str] = set()
         self._eager_cursor = 0
         self._eager_videos_done = 0
+        # Videos handed to eager tasks that have not completed yet.  With the
+        # thread-pool engine the factory is consulted while earlier eager
+        # tasks are still running on other workers; without this set every
+        # worker would be handed the same "fresh" batch.  Serial engines never
+        # observe it non-empty at factory time (an unfinished eager task sits
+        # in the queue and is popped before the factory is asked).
+        self._eager_inflight: dict[str, set[int]] = {}
+        self._eager_lock = threading.Lock()
 
         if self.behaviour.eager_extraction:
             self.scheduler.idle_task_factory = self._make_eager_task
+
+    # ---------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release execution-engine resources (worker threads, if any).
+
+        A no-op for the simulated engine; for the thread-pool engine it joins
+        the worker and shard pools.  Safe to call more than once.
+        """
+        self.scheduler.shutdown()
+
+    def __enter__(self) -> "ExplorationSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ----------------------------------------------------------------- queries
     @property
@@ -562,27 +594,41 @@ class ExplorationSession:
         batch_limit = self.config.scheduler.eager_batch_size
         if limit is not None:
             batch_limit = min(batch_limit, limit - self._eager_videos_done)
-        processed_by_feature = {
-            feature: set(self.features.vids_with_features(feature)) for feature in candidates
-        }
-        for feature in sorted(candidates, key=lambda f: len(processed_by_feature[f])):
-            processed = processed_by_feature[feature]
-            fresh = [vid for vid in all_vids if vid not in processed and vid not in labeled]
-            if fresh:
-                batch = fresh[:batch_limit]
-                feature_for_batch = feature
-                break
-        if not batch or feature_for_batch is None:
-            return None
+        with self.features.reserve(blocking=False) as acquired:
+            if not acquired:
+                # A worker holds the feature-manager lock for an in-flight
+                # extraction; decline rather than stall the dispatcher —
+                # it will ask again on its next pass.
+                return None
+            with self._eager_lock:
+                processed_by_feature = {
+                    feature: set(self.features.vids_with_features(feature))
+                    | self._eager_inflight.setdefault(feature, set())
+                    for feature in candidates
+                }
+                for feature in sorted(candidates, key=lambda f: len(processed_by_feature[f])):
+                    processed = processed_by_feature[feature]
+                    fresh = [
+                        vid for vid in all_vids if vid not in processed and vid not in labeled
+                    ]
+                    if fresh:
+                        batch = fresh[:batch_limit]
+                        feature_for_batch = feature
+                        break
+                if not batch or feature_for_batch is None:
+                    return None
+                self._eager_inflight[feature_for_batch].update(batch)
+                self._eager_videos_done += len(batch)
 
         spec = self.features.extractor(feature_for_batch).spec
         duration = self.cost_model.extraction_batch_time(
             spec, len(batch), self._mean_video_duration()
         )
-        self._eager_videos_done += len(batch)
 
         def action(at_time: float, feature=feature_for_batch, vids=tuple(batch)) -> None:
             self.features.ensure_video_features(feature, list(vids))
+            with self._eager_lock:
+                self._eager_inflight[feature].difference_update(vids)
 
         return Task(
             kind=TaskKind.EAGER_FEATURE_EXTRACTION,

@@ -58,6 +58,12 @@ class RunnerConfig:
     user_labeling_time: float = 10.0
     #: Evaluate held-out F1 every this many steps (1 = every step).
     evaluate_every: int = 1
+    #: Execution backend: "simulated" (deterministic) or "threads" (real pool).
+    engine: str = "simulated"
+    #: Worker-pool size for the "threads" engine.
+    num_workers: int = 4
+    #: Wall seconds per cost-model second on the "threads" engine.
+    time_scale: float = 1.0
     seed: int = 0
 
 
@@ -123,6 +129,10 @@ class SessionRunner:
         self.vocal = self._build_vocal()
         self.oracle = self._build_oracle()
 
+    def close(self) -> None:
+        """Release the session's execution engine (worker threads, if any)."""
+        self.vocal.close()
+
     # ------------------------------------------------------------------- build
     def _build_vocal(self) -> VOCALExplore:
         cfg = self.config
@@ -135,6 +145,9 @@ class SessionRunner:
             scheduler=SchedulerConfig(
                 strategy=cfg.strategy,
                 user_labeling_time=cfg.user_labeling_time,
+                engine=cfg.engine,
+                num_workers=cfg.num_workers,
+                time_scale=cfg.time_scale,
             ),
             seed=cfg.seed,
         )

@@ -14,8 +14,11 @@ charge the corresponding simulated latency.
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import Executor
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -60,6 +63,9 @@ class FeatureManager:
         self.sampler = sampler if sampler is not None else ClipSampler()
         self._videos = video_store
         self._pipeline = FeatureExtractionPipeline(decoder)
+        # Serialises extraction bookkeeping when background tasks run on a
+        # real worker pool; reentrant because ensure_* methods call _extract.
+        self._lock = threading.RLock()
 
     # ---------------------------------------------------------------- plumbing
     @property
@@ -75,6 +81,32 @@ class FeatureManager:
         """Names of every registered extractor."""
         return self.registry.names()
 
+    @contextmanager
+    def reserve(self, blocking: bool = True) -> Iterator[bool]:
+        """Acquire the manager lock, optionally without blocking.
+
+        Yields whether the lock was acquired.  The scheduler's dispatcher
+        thread uses ``blocking=False`` from the eager-task factory so that a
+        worker holding the lock for a long extraction never stalls task
+        dispatch or window preemption.
+        """
+        acquired = self._lock.acquire(blocking)
+        try:
+            yield acquired
+        finally:
+            if acquired:
+                self._lock.release()
+
+    def set_shard_executor(self, executor: Executor | None) -> None:
+        """Enable data-parallel extraction shards on ``executor``.
+
+        Called by sessions running the thread-pool execution engine; the
+        pipeline then splits each extraction batch across the pool (the pure
+        decode+extract work runs concurrently, store writes stay serialised
+        behind the manager's lock).
+        """
+        self._pipeline.set_executor(executor)
+
     # -------------------------------------------------------------- extraction
     def ensure_clip_features(self, fid: str, clips: Sequence[ClipSpec]) -> ExtractionReport:
         """Make sure every clip in ``clips`` has a stored feature for ``fid``.
@@ -86,22 +118,23 @@ class FeatureManager:
         matching how the prototype aligns 1-second labels to windows.
         """
         extractor = self.registry.get(fid)
-        covered = self.store.covering_mask(fid, clips)
-        missing: list[ClipSpec] = []
-        seen_windows: set[ClipSpec] = set()
-        touched_vids: set[int] = set()
-        for clip, is_covered in zip(clips, covered):
-            if is_covered:
-                continue
-            video = self._videos.get(clip.vid)
-            window = self.sampler.window_containing(
-                video, min(clip.midpoint, max(0.0, video.duration - 1e-6))
-            )
-            if window not in seen_windows:
-                seen_windows.add(window)
-                missing.append(window)
-            touched_vids.add(clip.vid)
-        extracted = self._extract(extractor, missing)
+        with self._lock:
+            covered = self.store.covering_mask(fid, clips)
+            missing: list[ClipSpec] = []
+            seen_windows: set[ClipSpec] = set()
+            touched_vids: set[int] = set()
+            for clip, is_covered in zip(clips, covered):
+                if is_covered:
+                    continue
+                video = self._videos.get(clip.vid)
+                window = self.sampler.window_containing(
+                    video, min(clip.midpoint, max(0.0, video.duration - 1e-6))
+                )
+                if window not in seen_windows:
+                    seen_windows.add(window)
+                    missing.append(window)
+                touched_vids.add(clip.vid)
+            extracted = self._extract(extractor, missing)
         return ExtractionReport(
             extractor=fid,
             requested_clips=len(clips),
@@ -116,15 +149,16 @@ class FeatureManager:
         repeated calls are cheap and incremental (pay-as-you-go).
         """
         extractor = self.registry.get(fid)
-        windows: list[ClipSpec] = []
-        touched: set[int] = set()
-        for vid in vids:
-            if self.store.has_any_for_video(fid, vid):
-                continue
-            video = self._videos.get(vid)
-            windows.extend(self.sampler.feature_windows(video))
-            touched.add(vid)
-        extracted = self._extract(extractor, windows)
+        with self._lock:
+            windows: list[ClipSpec] = []
+            touched: set[int] = set()
+            for vid in vids:
+                if self.store.has_any_for_video(fid, vid):
+                    continue
+                video = self._videos.get(vid)
+                windows.extend(self.sampler.feature_windows(video))
+                touched.add(vid)
+            extracted = self._extract(extractor, windows)
         return ExtractionReport(
             extractor=fid,
             requested_clips=len(windows),
@@ -139,26 +173,34 @@ class FeatureManager:
     def _extract(self, extractor: FeatureExtractor, clips: Sequence[ClipSpec]) -> int:
         if not clips:
             return 0
-        features = self._pipeline.run(extractor, clips)
-        return self.store.add_many(features)
+        with self._lock:
+            features = self._pipeline.run(extractor, clips)
+            return self.store.add_many(features)
 
     # ------------------------------------------------------------------ access
+    # Reads also take the manager lock: with the thread-pool engine, eager
+    # extraction writes into the store from worker threads while evaluation
+    # tasks (and the dispatcher's eager-task factory) read from it.
     def matrix(self, fid: str, clips: Sequence[ClipSpec]) -> np.ndarray:
         """Stacked feature matrix for ``clips`` (extracting any that are missing)."""
-        self.ensure_clip_features(fid, clips)
-        return self.store.matrix(fid, clips)
+        with self._lock:
+            self.ensure_clip_features(fid, clips)
+            return self.store.matrix(fid, clips)
 
     def get_many(self, fid: str, clips: Sequence[ClipSpec]) -> np.ndarray:
         """Exact-lookup matrix for already-extracted clips (no extraction, no fallback)."""
-        return self.store.get_many(fid, clips)
+        with self._lock:
+            return self.store.get_many(fid, clips)
 
     def has_many(self, fid: str, clips: Sequence[ClipSpec]) -> np.ndarray:
         """Boolean mask of exact-clip feature coverage, aligned with ``clips``."""
-        return self.store.has_many(fid, clips)
+        with self._lock:
+            return self.store.has_many(fid, clips)
 
     def candidate_pool(self, fid: str) -> tuple[list[ClipSpec], np.ndarray]:
         """All stored clips and vectors for ``fid`` (the active-learning candidate set)."""
-        return self.store.all_vectors(fid)
+        with self._lock:
+            return self.store.all_vectors(fid)
 
     def candidate_pool_columns(
         self, fid: str
@@ -168,21 +210,24 @@ class FeatureManager:
         Zero-copy access for vectorized filtering; callers must not mutate the
         returned arrays.  Unknown extractors yield empty columns.
         """
-        if fid not in self.store.extractors():
-            empty = np.empty(0, dtype=np.float64)
-            return np.empty(0, dtype=np.int64), empty, empty, np.empty((0, 0))
-        return self.store.columns(fid)
+        with self._lock:
+            if fid not in self.store.extractors():
+                empty = np.empty(0, dtype=np.float64)
+                return np.empty(0, dtype=np.int64), empty, empty, np.empty((0, 0))
+            return self.store.columns(fid)
 
     def vids_with_features(self, fid: str) -> list[int]:
         """Videos that already have at least one stored window for ``fid``."""
-        return self.store.vids_with_features(fid)
+        with self._lock:
+            return self.store.vids_with_features(fid)
 
     def feature_vectors_for(self, fid: str, vid: int) -> list[FeatureVector]:
         """All stored vectors of one video for one extractor."""
-        clips = self.store.clips_for(fid, vid)
-        if not clips:
-            return []
-        vectors = self.store.get_many(fid, clips)
+        with self._lock:
+            clips = self.store.clips_for(fid, vid)
+            if not clips:
+                return []
+            vectors = self.store.get_many(fid, clips)
         return [
             FeatureVector(fid=fid, vid=clip.vid, start=clip.start, end=clip.end,
                           vector=vector)

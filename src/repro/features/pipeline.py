@@ -5,10 +5,15 @@ the pipeline setup over a batch of video segments.  This module mirrors that
 structure: a pipeline decodes a batch of clips, applies one extractor, and
 records how many pipelines were set up and how many clips were processed so
 the scheduler's cost model can charge the same costs the paper measures.
+
+When an executor is attached (by the thread-pool execution engine), one batch
+is split into shards that decode and extract in parallel; results are
+gathered in submission order, so the output is identical to the serial path.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -26,8 +31,11 @@ class PipelineStats:
     pipelines_created: int = 0
     clips_processed: int = 0
     clips_by_extractor: dict[str, int] = field(default_factory=dict)
+    #: Number of batches that were split across parallel shards.
+    parallel_batches: int = 0
 
     def record_batch(self, extractor_name: str, batch_size: int) -> None:
+        """Count one pipeline setup processing ``batch_size`` clips."""
         self.pipelines_created += 1
         self.clips_processed += batch_size
         self.clips_by_extractor[extractor_name] = (
@@ -38,9 +46,22 @@ class PipelineStats:
 class FeatureExtractionPipeline:
     """Decode clips and run one extractor over them, batch by batch."""
 
-    def __init__(self, decoder: Decoder) -> None:
+    #: Minimum clips per shard when a batch is split across the executor;
+    #: tiny shards would drown the decode work in dispatch overhead.
+    MIN_SHARD_SIZE = 8
+
+    def __init__(self, decoder: Decoder, executor: Executor | None = None) -> None:
         self._decoder = decoder
+        self._executor = executor
         self.stats = PipelineStats()
+
+    def set_executor(self, executor: Executor | None) -> None:
+        """Attach (or detach) an executor for data-parallel shard extraction.
+
+        The thread-pool execution engine passes its dedicated shard pool here;
+        the simulated engine leaves the pipeline serial.
+        """
+        self._executor = executor
 
     def run(
         self,
@@ -51,11 +72,34 @@ class FeatureExtractionPipeline:
 
         One call corresponds to one pipeline setup, so callers should batch
         clips (the prototype uses batches of ten videos) to amortise the
-        setup cost the same way the paper does.
+        setup cost the same way the paper does.  With an executor attached,
+        the batch is sharded and decoded/extracted in parallel; the returned
+        list is ordered like ``clips`` either way.
         """
         if not clips:
             return []
         self.stats.record_batch(extractor.name, len(clips))
+        if self._executor is not None and len(clips) >= 2 * self.MIN_SHARD_SIZE:
+            return self._run_sharded(extractor, clips)
+        return self._extract_shard(extractor, clips)
+
+    def _run_sharded(
+        self, extractor: FeatureExtractor, clips: Sequence[ClipSpec]
+    ) -> list[FeatureVector]:
+        """Split one batch into shards and extract them on the executor."""
+        shard_size = max(self.MIN_SHARD_SIZE, -(-len(clips) // 8))
+        shards = [clips[i : i + shard_size] for i in range(0, len(clips), shard_size)]
+        self.stats.parallel_batches += 1
+        futures = [self._executor.submit(self._extract_shard, extractor, shard) for shard in shards]
+        features: list[FeatureVector] = []
+        for future in futures:  # submission order == clip order
+            features.extend(future.result())
+        return features
+
+    def _extract_shard(
+        self, extractor: FeatureExtractor, clips: Sequence[ClipSpec]
+    ) -> list[FeatureVector]:
+        """Decode and extract one shard serially (pure work, no shared state)."""
         features: list[FeatureVector] = []
         for clip in clips:
             decoded = self._decoder.decode(clip)

@@ -44,6 +44,7 @@ class ExactIndex(VectorIndex):
         return self._vectors.shape[0]
 
     def build(self, vectors: np.ndarray) -> None:
+        """Adopt ``vectors`` as the searchable pool, caching row norms."""
         matrix = as_matrix(vectors)
         self._dim = -1
         self._set_dim(matrix.shape[1])
@@ -51,6 +52,7 @@ class ExactIndex(VectorIndex):
         self._sq = squared_norms(self._vectors)
 
     def add(self, vectors: np.ndarray) -> None:
+        """Append ``vectors`` to the pool (row ids continue the build order)."""
         matrix = as_matrix(vectors, dim=None if self._dim < 0 else self._dim)
         if len(self) == 0:
             self.build(matrix)
@@ -59,6 +61,7 @@ class ExactIndex(VectorIndex):
         self._sq = np.concatenate([self._sq, squared_norms(matrix)])
 
     def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exact top-``k`` by a chunked norm-expansion scan of the whole pool."""
         k = self._check_k(k)
         queries = as_queries(queries, max(self._dim, 0) or queries.shape[-1])
         num_queries = queries.shape[0]

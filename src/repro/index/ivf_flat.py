@@ -132,6 +132,7 @@ class IVFFlatIndex(VectorIndex):
 
     # ----------------------------------------------------------------- build
     def build(self, vectors: np.ndarray) -> None:
+        """Train the coarse quantizer on ``vectors`` and lay out the list slabs."""
         matrix = as_matrix(vectors)
         self._dim = -1
         self._set_dim(matrix.shape[1])
@@ -170,6 +171,7 @@ class IVFFlatIndex(VectorIndex):
         return assign
 
     def add(self, vectors: np.ndarray) -> None:
+        """Buffer ``vectors`` beside the slabs; re-trains past ``retrain_factor``."""
         matrix = as_matrix(vectors, dim=None if self._dim < 0 else self._dim)
         if matrix.shape[0] == 0:
             return
@@ -207,6 +209,7 @@ class IVFFlatIndex(VectorIndex):
 
     # ---------------------------------------------------------------- search
     def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate top-``k`` scanning the ``nprobe`` nearest cells, list-major."""
         k = self._check_k(k)
         self._ensure_trained()
         queries = as_queries(queries, max(self._dim, 0) or queries.shape[-1])

@@ -71,6 +71,7 @@ class LSHIndex(VectorIndex):
         return min(self.num_bits, max(1, int(np.log2(max(2, n // 8)))))
 
     def build(self, vectors: np.ndarray) -> None:
+        """Draw hyperplanes for the pool size and signature every vector."""
         matrix = as_matrix(vectors)
         self._dim = -1
         self._set_dim(matrix.shape[1])
@@ -83,6 +84,8 @@ class LSHIndex(VectorIndex):
         self._sorted = None
 
     def add(self, vectors: np.ndarray) -> None:
+        """Append and signature ``vectors``; re-hashes when the pool outgrows
+        the built signature width."""
         matrix = as_matrix(vectors, dim=None if self._dim < 0 else self._dim)
         if len(self) == 0:
             self.build(matrix)
@@ -116,6 +119,7 @@ class LSHIndex(VectorIndex):
 
     # ---------------------------------------------------------------- search
     def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` over the union of exact-signature buckets, exactly re-ranked."""
         k = self._check_k(k)
         queries = as_queries(queries, max(self._dim, 0) or queries.shape[-1])
         num_queries = queries.shape[0]

@@ -9,6 +9,7 @@ by the Task Scheduler without blocking Explore calls.
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -56,6 +57,9 @@ class ModelManager:
         self.vocabulary = list(dict.fromkeys(vocabulary))
         self.config = config if config is not None else ModelConfig()
         self._rng = np.random.default_rng(seed)
+        # Feature-evaluation tasks can run concurrently on the thread-pool
+        # execution engine's workers; the shared generator is not thread-safe.
+        self._rng_lock = threading.Lock()
 
     # ----------------------------------------------------------- training data
     def training_examples(self, label_limit: int | None = None) -> tuple[list[ClipSpec], list[str]]:
@@ -219,12 +223,13 @@ class ModelManager:
         if not len(self.labels):
             raise InsufficientLabelsError("no labels collected yet")
         features, names = self.training_design(feature_name)
-        return cross_validate_macro_f1(
-            features,
-            names,
-            num_folds=num_folds,
-            min_labels_per_class=min_labels_per_class,
-            l2_regularization=self.config.l2_regularization,
-            max_iterations=self.config.max_iterations,
-            rng=self._rng,
-        )
+        with self._rng_lock:
+            return cross_validate_macro_f1(
+                features,
+                names,
+                num_folds=num_folds,
+                min_labels_per_class=min_labels_per_class,
+                l2_regularization=self.config.l2_regularization,
+                max_iterations=self.config.max_iterations,
+                rng=self._rng,
+            )

@@ -1,7 +1,16 @@
-"""Task Scheduler subsystem: clock, cost model, tasks, priority scheduler, strategies."""
+"""Task Scheduler subsystem: clock, cost model, tasks, priority scheduler,
+strategies, and pluggable execution engines (simulated / thread pool)."""
 
 from .clock import SimulatedClock
 from .cost_model import CostModel
+from .engine import (
+    ENGINE_NAMES,
+    ExecutionEngine,
+    SimulatedEngine,
+    ThreadPoolEngine,
+    WallClock,
+    build_engine,
+)
 from .scheduler import IterationLatency, TaskScheduler
 from .strategies import SERIAL, VE_FULL, VE_PARTIAL, StrategyBehaviour, strategy_behaviour
 from .tasks import CompletedTask, Task, TaskKind, TaskPriority
@@ -20,4 +29,10 @@ __all__ = [
     "SERIAL",
     "VE_PARTIAL",
     "VE_FULL",
+    "ExecutionEngine",
+    "SimulatedEngine",
+    "ThreadPoolEngine",
+    "WallClock",
+    "build_engine",
+    "ENGINE_NAMES",
 ]

@@ -1,0 +1,554 @@
+"""Pluggable execution engines for the Task Scheduler.
+
+The scheduler separates *policy* from *execution*.  Policy — which task runs
+next, what counts as foreground vs background, how unfinished work carries
+across labeling windows — lives in :class:`~repro.scheduler.scheduler.TaskScheduler`.
+Execution — how a chosen task actually consumes time — is delegated to an
+:class:`ExecutionEngine`:
+
+* :class:`SimulatedEngine` replays the paper's discrete-event semantics
+  against a :class:`~repro.scheduler.clock.SimulatedClock`.  It is the
+  default, costs no wall-clock time, and its latency accounting is
+  bit-identical to the pre-engine scheduler, so every seeded experiment
+  reproduces exactly.
+* :class:`ThreadPoolEngine` runs tasks on a real ``concurrent.futures``
+  worker pool.  Task costs are *performed* rather than skipped over: a task
+  occupies a worker for its cost-model duration (or runs its real
+  ``payload``), is preempted cooperatively at checkpoint boundaries when the
+  labeling window closes, and per-iteration latency records hold measured
+  wall-clock time (converted to cost-model seconds via ``time_scale``).
+
+Both engines implement the same three entry points (``run_foreground``,
+``run_window``, ``drain``) over the scheduler's queue, so scheduling
+strategies (serial / VE-partial / VE-full) are engine-agnostic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import TYPE_CHECKING, Callable
+
+from ..exceptions import SchedulerError
+from .clock import SimulatedClock
+from .tasks import CompletedTask, Task
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .scheduler import TaskScheduler
+
+__all__ = [
+    "ExecutionEngine",
+    "SimulatedEngine",
+    "ThreadPoolEngine",
+    "WallClock",
+    "build_engine",
+    "ENGINE_NAMES",
+]
+
+#: Names accepted by :func:`build_engine` and ``SchedulerConfig.engine``.
+ENGINE_NAMES = ("simulated", "threads")
+
+
+class WallClock:
+    """Wall clock reporting elapsed real time in cost-model seconds.
+
+    ``time_scale`` maps cost-model seconds to wall seconds: with the default
+    of 1.0 one simulated second of task cost takes one real second, while
+    benchmarks and tests use small scales (e.g. ``1e-3``) so seeded workloads
+    finish in milliseconds.  ``advance``/``advance_to`` *wait* in real time,
+    mirroring how :class:`~repro.scheduler.clock.SimulatedClock` jumps forward.
+    """
+
+    def __init__(self, time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise SchedulerError(f"time_scale must be > 0, got {time_scale}")
+        self.time_scale = float(time_scale)
+        self._origin = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        """Elapsed time since engine start, in cost-model seconds."""
+        return (time.monotonic() - self._origin) / self.time_scale
+
+    def advance(self, seconds: float) -> float:
+        """Wait ``seconds`` cost-model seconds of real time; returns the new time."""
+        if seconds < 0:
+            raise SchedulerError(f"cannot advance the clock by a negative amount ({seconds})")
+        if seconds > 0:
+            time.sleep(seconds * self.time_scale)
+        return self.now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Wait until ``timestamp`` (no-op when already past it)."""
+        remaining = timestamp - self.now
+        if remaining > 0:
+            time.sleep(remaining * self.time_scale)
+        return self.now
+
+    def __repr__(self) -> str:
+        return f"WallClock(now={self.now:.3f}, time_scale={self.time_scale})"
+
+
+class ExecutionEngine:
+    """How the scheduler turns queued tasks into completed work and time.
+
+    An engine owns a clock exposing ``now``/``advance``/``advance_to`` and
+    implements the three execution paths the scheduler delegates to.  All
+    accounting (latency records, completion log) is written back through the
+    scheduler's recording helpers so the two engines stay comparable.
+    """
+
+    #: Engine name as used by ``SchedulerConfig.engine`` / ``--engine``.
+    name: str = "abstract"
+
+    def __init__(self, clock) -> None:
+        self.clock = clock
+
+    # ------------------------------------------------------------- execution
+    def run_foreground(self, scheduler: "TaskScheduler", task: Task) -> CompletedTask:
+        """Run ``task`` synchronously; its time becomes visible latency."""
+        raise NotImplementedError
+
+    def run_window(self, scheduler: "TaskScheduler", duration: float) -> list[CompletedTask]:
+        """Execute background work for one labeling window of ``duration`` seconds."""
+        raise NotImplementedError
+
+    def drain(self, scheduler: "TaskScheduler", time_limit: float | None) -> list[CompletedTask]:
+        """Run queued background work to completion, charging it as visible time."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- lifecycle
+    def shard_executor(self) -> ThreadPoolExecutor | None:
+        """Executor for data-parallel extraction shards (None when serial)."""
+        return None
+
+    def shutdown(self) -> None:
+        """Release engine resources (worker threads); idempotent."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SimulatedEngine(ExecutionEngine):
+    """Discrete-event execution against a :class:`SimulatedClock`.
+
+    Task costs advance the simulated clock instead of occupying real time, so
+    a 30-iteration labeling session with hours of simulated extraction runs
+    in milliseconds and is deterministic on any hardware.  The accounting
+    order is kept bit-identical to the pre-engine scheduler: every float
+    addition happens in the same sequence, which the engine benchmark pins
+    with a golden hash.
+    """
+
+    name = "simulated"
+
+    def __init__(self, clock: SimulatedClock | None = None) -> None:
+        super().__init__(clock if clock is not None else SimulatedClock())
+
+    # ------------------------------------------------------------- foreground
+    def run_foreground(self, scheduler: "TaskScheduler", task: Task) -> CompletedTask:
+        """Consume the task's full duration on the simulated clock."""
+        task.work(task.remaining)
+        self.clock.advance(task.duration)
+        record = task.complete(self.clock.now)
+        scheduler._log_completion(record)
+        scheduler._record_visible(task.kind, task.duration)
+        return record
+
+    # ------------------------------------------------------------- background
+    def run_window(self, scheduler: "TaskScheduler", duration: float) -> list[CompletedTask]:
+        """Replay the paper's single-resource window loop.
+
+        Runs queued tasks in priority order until the window closes, idling
+        through gaps before deferred tasks become available, consulting the
+        idle-task factory when the queue is empty, and preempting the running
+        task at the window boundary with its remaining work preserved.
+        """
+        window_start = self.clock.now
+        window_end = window_start + duration
+        completed: list[CompletedTask] = []
+
+        while self.clock.now < window_end - 1e-9:
+            task = scheduler._pop_available(self.clock.now)
+            if task is None:
+                next_time = scheduler._next_available_time()
+                if next_time is not None and next_time < window_end:
+                    # Idle until the next deferred task becomes available.
+                    idle = next_time - self.clock.now
+                    if scheduler.idle_task_factory is not None:
+                        task = scheduler.idle_task_factory()
+                        if task is None:
+                            scheduler._record_idle(idle)
+                            self.clock.advance_to(next_time)
+                            continue
+                    else:
+                        scheduler._record_idle(idle)
+                        self.clock.advance_to(next_time)
+                        continue
+                else:
+                    if scheduler.idle_task_factory is not None:
+                        task = scheduler.idle_task_factory()
+                    if task is None:
+                        scheduler._record_idle(window_end - self.clock.now)
+                        break
+
+            available = window_end - self.clock.now
+            used = task.work(available)
+            self.clock.advance(used)
+            scheduler._record_background(used)
+            if task.finished:
+                record = task.complete(self.clock.now)
+                scheduler._log_completion(record)
+                completed.append(record)
+            else:
+                # Out of window time: requeue with remaining work preserved.
+                scheduler._requeue(task)
+                break
+
+        self.clock.advance_to(window_end)
+        return completed
+
+    def drain(self, scheduler: "TaskScheduler", time_limit: float | None) -> list[CompletedTask]:
+        """Run every queued task to completion on the simulated clock."""
+        completed: list[CompletedTask] = []
+        budget = float("inf") if time_limit is None else float(time_limit)
+        while scheduler._queue and budget > 1e-9:
+            task = scheduler._pop_available(self.clock.now)
+            if task is None:
+                next_time = scheduler._next_available_time()
+                if next_time is None:
+                    break
+                self.clock.advance_to(next_time)
+                continue
+            used = task.work(min(task.remaining, budget))
+            budget -= used
+            self.clock.advance(used)
+            scheduler._record_visible(task.kind, used)
+            if task.finished:
+                record = task.complete(self.clock.now)
+                scheduler._log_completion(record)
+                completed.append(record)
+            else:
+                scheduler._requeue(task)
+                break
+        return completed
+
+
+class ThreadPoolEngine(ExecutionEngine):
+    """Real concurrent execution on a ``concurrent.futures`` worker pool.
+
+    The engine keeps the scheduler's policy intact — priority-ordered
+    dispatch, availability times, idle-task factory, pause-and-play across
+    windows — but tasks now occupy real worker threads:
+
+    * **Performing a cost.**  A task without a ``payload`` blocks a worker
+      for ``remaining * time_scale`` wall seconds, modelling the GPU/IO-bound
+      stall of real decode+extract work; a task *with* a ``payload`` runs it
+      in cost-unit slices.  Either way the cost is consumed through
+      checkpoint-sized slices.
+    * **Cooperative preemption.**  When the labeling window closes, the
+      engine sets a pause event; workers notice it at the next checkpoint
+      boundary, bank the work done so far, and the task is requeued with its
+      remaining cost — the same pause-and-play semantics the simulated
+      engine applies at window boundaries.
+    * **Wall-clock accounting.**  Iteration records hold *measured* elapsed
+      time (converted to cost-model seconds by ``time_scale``), so
+      ``background_time_used`` can exceed the window length — that surplus
+      is exactly the concurrency win, and ``background_idle_time`` counts
+      unused worker capacity (``num_workers * window - busy``).
+
+    A second, disjoint pool (:meth:`shard_executor`) is exposed for
+    data-parallel extraction shards so fan-out from inside a running task
+    can never deadlock task dispatch.
+    """
+
+    name = "threads"
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        time_scale: float = 1.0,
+        checkpoint_interval: float = 0.25,
+    ) -> None:
+        if num_workers < 1:
+            raise SchedulerError(f"num_workers must be >= 1, got {num_workers}")
+        if checkpoint_interval <= 0:
+            raise SchedulerError(
+                f"checkpoint_interval must be > 0, got {checkpoint_interval}"
+            )
+        super().__init__(WallClock(time_scale))
+        self.num_workers = int(num_workers)
+        self.time_scale = float(time_scale)
+        #: Cost-model seconds between preemption checks inside one task.
+        self.checkpoint_interval = float(checkpoint_interval)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.num_workers, thread_name_prefix="repro-engine"
+        )
+        self._shards = ThreadPoolExecutor(
+            max_workers=self.num_workers, thread_name_prefix="repro-shard"
+        )
+        self._pause = threading.Event()
+        self._lock = threading.Lock()
+        self._closed = False
+        # True while drain() is running: consumed time is charged as visible
+        # latency instead of background time.  Windows and drains are only
+        # ever driven from the scheduler's calling thread, never concurrently.
+        self._charge_visible = False
+
+    # ------------------------------------------------------------- lifecycle
+    def shard_executor(self) -> ThreadPoolExecutor:
+        """Pool for data-parallel extraction shards (disjoint from dispatch)."""
+        return self._shards
+
+    def shutdown(self) -> None:
+        """Stop both worker pools; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pause.set()
+        self._pool.shutdown(wait=True)
+        self._shards.shutdown(wait=True)
+
+    # ------------------------------------------------------------ task slices
+    def _perform(self, task: Task, preemptible: bool) -> float:
+        """Consume the task's cost in checkpoint slices; returns units done.
+
+        Between slices the worker checks the pause event (when
+        ``preemptible``) and checkpoints out with the task's remaining cost
+        intact, implementing cooperative pause-and-play preemption.
+        """
+        consumed = 0.0
+        while not task.finished:
+            if preemptible and self._pause.is_set():
+                break
+            slice_units = min(task.remaining, self.checkpoint_interval)
+            if task.payload is not None:
+                task.payload(slice_units)
+            elif slice_units > 0:
+                time.sleep(slice_units * self.time_scale)
+            task.work(slice_units)
+            consumed += slice_units
+        return consumed
+
+    def _finish(self, scheduler: "TaskScheduler", task: Task) -> CompletedTask:
+        """Complete a finished task: run its action, log the completion."""
+        record = task.complete(self.clock.now)
+        with self._lock:
+            scheduler._log_completion(record)
+        return record
+
+    # ------------------------------------------------------------- foreground
+    def run_foreground(self, scheduler: "TaskScheduler", task: Task) -> CompletedTask:
+        """Perform the task on the calling thread; visible latency is measured."""
+        start = self.clock.now
+        self._perform(task, preemptible=False)
+        record = self._finish(scheduler, task)
+        with self._lock:
+            scheduler._record_visible(task.kind, self.clock.now - start)
+        return record
+
+    # ------------------------------------------------------------- background
+    def _run_background(
+        self, scheduler: "TaskScheduler", task: Task
+    ) -> tuple[Task, CompletedTask | None]:
+        """Worker entry point: perform one background task until done or paused.
+
+        Completion — including the task's ``action``, which may be real CPU
+        work such as registering a trained model or extracting features —
+        happens here on the worker, so it overlaps with other workers and
+        never blocks the dispatcher loop.
+        """
+        consumed = self._perform(task, preemptible=True)
+        with self._lock:
+            if self._charge_visible:
+                scheduler._record_visible(task.kind, consumed)
+            else:
+                scheduler._record_background(consumed)
+        record = self._finish(scheduler, task) if task.finished else None
+        return task, record
+
+    def _dispatch_available(
+        self,
+        scheduler: "TaskScheduler",
+        futures: dict[Future, Task],
+        allow_idle_factory: bool,
+    ) -> None:
+        """Fill free worker slots with available tasks in priority order."""
+        while len(futures) < self.num_workers:
+            with self._lock:
+                task = scheduler._pop_available(self.clock.now)
+            if task is None and allow_idle_factory and scheduler.idle_task_factory is not None:
+                task = scheduler.idle_task_factory()
+            if task is None:
+                return
+            futures[self._pool.submit(self._run_background, scheduler, task)] = task
+
+    def _collect(
+        self,
+        scheduler: "TaskScheduler",
+        done: set[Future],
+        futures: dict[Future, Task],
+        completed: list[CompletedTask],
+    ) -> None:
+        """Harvest finished futures: gather completion records, requeue paused tasks.
+
+        A worker exception (a failing task ``action``) is re-raised only
+        after every future handed in has been harvested, so one bad task
+        cannot orphan its siblings.
+        """
+        error: BaseException | None = None
+        for future in done:
+            futures.pop(future)
+            try:
+                task, record = future.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                error = error if error is not None else exc
+                continue
+            if record is not None:
+                completed.append(record)
+            else:
+                with self._lock:
+                    scheduler._requeue(task)
+        if error is not None:
+            raise error
+
+    def _abort_inflight(self, scheduler: "TaskScheduler", futures: dict[Future, Task]) -> None:
+        """Best-effort settling when a window/drain aborts on an error.
+
+        Pauses in-flight tasks, waits for them to checkpoint out, and
+        requeues unfinished work so no task is silently lost; harvest errors
+        are swallowed because an exception is already propagating.
+        """
+        if not futures:
+            return
+        self._pause.set()
+        done, _pending = wait(futures)
+        try:
+            self._collect(scheduler, done, futures, [])
+        except BaseException:  # noqa: BLE001 - original exception wins
+            pass
+
+    def _wait_timeout(self, deadline: float | None) -> float:
+        """Wall seconds to block in one dispatcher wait (bounded for liveness)."""
+        poll = max(self.checkpoint_interval * self.time_scale * 0.5, 1e-4)
+        if deadline is None:
+            return poll
+        remaining_wall = max(0.0, (deadline - self.clock.now) * self.time_scale)
+        return min(poll, remaining_wall) if remaining_wall > 0 else 0.0
+
+    def run_window(self, scheduler: "TaskScheduler", duration: float) -> list[CompletedTask]:
+        """Run background work concurrently for one real-time labeling window.
+
+        Up to ``num_workers`` tasks run at once, always the highest-priority
+        available ones.  At the window deadline the pause event preempts
+        in-flight tasks at their next checkpoint; unfinished tasks requeue
+        with remaining cost.  Busy time is the sum of cost-units consumed
+        across all workers; idle time is the unused worker capacity.
+        """
+        start = self.clock.now
+        deadline = start + duration
+        completed: list[CompletedTask] = []
+        futures: dict[Future, Task] = {}
+        busy_before = scheduler.current_iteration.background_time_used
+        self._pause.clear()
+
+        try:
+            while self.clock.now < deadline - 1e-9:
+                self._dispatch_available(scheduler, futures, allow_idle_factory=True)
+                if not futures:
+                    # Nothing runnable: wait for the next deferred task or the deadline.
+                    with self._lock:
+                        next_time = scheduler._next_available_time()
+                    target = deadline if next_time is None else min(next_time, deadline)
+                    self.clock.advance_to(target)
+                    continue
+                done, _pending = wait(
+                    futures, timeout=self._wait_timeout(deadline), return_when=FIRST_COMPLETED
+                )
+                self._collect(scheduler, done, futures, completed)
+
+            # Window over: ask in-flight tasks to checkpoint out, then settle.
+            self._pause.set()
+            if futures:
+                done, _pending = wait(futures)
+                self._collect(scheduler, done, futures, completed)
+        except BaseException:
+            self._abort_inflight(scheduler, futures)
+            raise
+        self.clock.advance_to(deadline)
+        busy = scheduler.current_iteration.background_time_used - busy_before
+        scheduler._record_idle(max(0.0, self.num_workers * duration - busy))
+        return completed
+
+    def drain(self, scheduler: "TaskScheduler", time_limit: float | None) -> list[CompletedTask]:
+        """Run queued tasks to completion on the pool; time charged as visible.
+
+        Used by the serial strategy: the user waits for the drain, and each
+        task's consumed cost is charged to ``visible_latency`` under its own
+        kind — the same per-task attribution the simulated engine uses.
+        With more than one worker the summed charge is an upper bound on the
+        wall time the user actually waited (tasks overlap).  ``time_limit``
+        is an elapsed-time deadline here, unlike the simulated engine's
+        consumed-cost budget (see ``TaskScheduler.drain``).
+        """
+        start = self.clock.now
+        deadline = None if time_limit is None else start + float(time_limit)
+        completed: list[CompletedTask] = []
+        futures: dict[Future, Task] = {}
+        self._pause.clear()
+        self._charge_visible = True
+        try:
+            while True:
+                if deadline is not None and self.clock.now >= deadline - 1e-9:
+                    break
+                self._dispatch_available(scheduler, futures, allow_idle_factory=False)
+                if not futures:
+                    with self._lock:
+                        next_time = scheduler._next_available_time()
+                    if next_time is None:
+                        break
+                    target = next_time if deadline is None else min(next_time, deadline)
+                    self.clock.advance_to(target)
+                    continue
+                done, _pending = wait(
+                    futures, timeout=self._wait_timeout(deadline), return_when=FIRST_COMPLETED
+                )
+                self._collect(scheduler, done, futures, completed)
+
+            if futures:
+                self._pause.set()
+                done, _pending = wait(futures)
+                self._collect(scheduler, done, futures, completed)
+        except BaseException:
+            self._abort_inflight(scheduler, futures)
+            raise
+        finally:
+            self._charge_visible = False
+        return completed
+
+
+def build_engine(
+    engine: str = "simulated",
+    num_workers: int = 4,
+    time_scale: float = 1.0,
+    clock: SimulatedClock | None = None,
+) -> ExecutionEngine:
+    """Construct an execution engine by name.
+
+    Args:
+        engine: ``"simulated"`` (deterministic discrete-event default) or
+            ``"threads"`` (real worker pool).
+        num_workers: Worker-pool size; ignored by the simulated engine.
+        time_scale: Wall seconds per cost-model second for the thread engine.
+        clock: Optional pre-built clock for the simulated engine (used by
+            tests that share a clock between components).
+
+    Raises:
+        SchedulerError: on an unknown engine name.
+    """
+    if engine == "simulated":
+        return SimulatedEngine(clock)
+    if engine == "threads":
+        return ThreadPoolEngine(num_workers=num_workers, time_scale=time_scale)
+    raise SchedulerError(f"unknown engine {engine!r}; known: {list(ENGINE_NAMES)}")

@@ -1,8 +1,8 @@
 """Priority Task Scheduler.
 
-The scheduler owns a single (simulated) compute resource.  Foreground tasks —
-the work that must finish before ``Explore`` can return — run immediately and
-add to user-visible latency.  Background tasks are queued with priorities and
+The scheduler owns one compute resource pool.  Foreground tasks — the work
+that must finish before ``Explore`` can return — run immediately and add to
+user-visible latency.  Background tasks are queued with priorities and
 executed during the window in which the user is busy labeling; tasks that do
 not finish within a window keep their remaining work and resume in the next
 window, which is how a long model-training task becomes ready only several
@@ -12,6 +12,15 @@ The VE-full strategy additionally installs an *idle-task factory*: whenever
 the background queue is empty and window time remains, the scheduler asks the
 factory for a new lowest-priority task (eager feature extraction over a batch
 of unlabeled videos).
+
+*Execution* is pluggable (see :mod:`repro.scheduler.engine`): the scheduler
+decides which task runs next and keeps the latency records, while an
+:class:`~repro.scheduler.engine.ExecutionEngine` decides how a chosen task
+consumes time — advancing a simulated clock (the deterministic default) or
+occupying real worker threads (:class:`~repro.scheduler.engine.ThreadPoolEngine`).
+
+See ``docs/SCHEDULER.md`` for the full task model and window-accounting
+walkthrough.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from typing import Callable
 
 from ..exceptions import SchedulerError
 from .clock import SimulatedClock
+from .engine import ExecutionEngine, SimulatedEngine
 from .tasks import CompletedTask, Task
 
 __all__ = ["IterationLatency", "TaskScheduler"]
@@ -29,7 +39,16 @@ __all__ = ["IterationLatency", "TaskScheduler"]
 
 @dataclass
 class IterationLatency:
-    """Latency accounting for one Explore iteration."""
+    """Latency accounting for one Explore iteration.
+
+    Under the simulated engine all fields are simulated seconds.  Under the
+    thread-pool engine ``visible_latency`` is measured wall-clock time (in
+    cost-model seconds), while background fields count *consumed task cost*:
+    ``background_time_used`` sums the cost-units workers performed — it may
+    exceed the window length, which is the concurrency surplus of multiple
+    workers — and ``background_idle_time`` is the unused worker capacity
+    (``num_workers x window - busy``).
+    """
 
     iteration: int
     visible_latency: float = 0.0
@@ -38,15 +57,29 @@ class IterationLatency:
     visible_by_kind: dict[str, float] = field(default_factory=dict)
 
     def add_visible(self, kind: str, duration: float) -> None:
+        """Charge ``duration`` of user-visible time against one task kind."""
         self.visible_latency += duration
         self.visible_by_kind[kind] = self.visible_by_kind.get(kind, 0.0) + duration
 
 
 class TaskScheduler:
-    """Single-resource priority scheduler over a simulated clock."""
+    """Priority scheduler dispatching tasks to a pluggable execution engine."""
 
-    def __init__(self, clock: SimulatedClock | None = None) -> None:
-        self.clock = clock if clock is not None else SimulatedClock()
+    def __init__(
+        self,
+        clock: SimulatedClock | None = None,
+        engine: ExecutionEngine | None = None,
+    ) -> None:
+        """Build a scheduler.
+
+        Args:
+            clock: Simulated clock for the default engine; ignored when an
+                explicit ``engine`` is given (the engine owns its clock).
+            engine: Execution backend; defaults to a bit-identical
+                :class:`~repro.scheduler.engine.SimulatedEngine`.
+        """
+        self.engine = engine if engine is not None else SimulatedEngine(clock)
+        self.clock = self.engine.clock
         self._queue: list[tuple[int, int, Task]] = []
         self._completed: list[CompletedTask] = []
         self._iterations: list[IterationLatency] = []
@@ -67,12 +100,26 @@ class TaskScheduler:
 
         Foreground work arriving after the close (a ``watch`` or ``search``
         between Explore calls) opens a fresh overflow record carrying the same
-        iteration number, so already-reported records never change.
+        iteration number, so already-reported records never change — and
+        window time (busy or idle) is only ever charged to the record that
+        was open while the window ran, never counted again into a reopened
+        one.
         """
         self._finalised = True
 
+    def _ensure_open_record(self) -> None:
+        """Open an overflow record when none is open or the last one is frozen.
+
+        Work arriving before the first ``begin_iteration`` or after a
+        ``close_iteration`` opens its own accounting record instead of
+        mutating a missing or already-reported one.
+        """
+        if self._current is None or self._finalised:
+            self.begin_iteration(self._current.iteration if self._current is not None else 0)
+
     @property
     def current_iteration(self) -> IterationLatency:
+        """The latency record currently accumulating charges."""
         if self._current is None:
             raise SchedulerError("begin_iteration() has not been called")
         return self._current
@@ -91,20 +138,9 @@ class TaskScheduler:
 
     # ------------------------------------------------------------- foreground
     def run_foreground(self, task: Task) -> CompletedTask:
-        """Run a task synchronously; its duration becomes visible latency.
-
-        Work arriving before the first ``begin_iteration`` or after a
-        ``close_iteration`` opens its own accounting record instead of
-        mutating a missing or already-reported one.
-        """
-        if self._current is None or self._finalised:
-            self.begin_iteration(self._current.iteration if self._current is not None else 0)
-        task.work(task.remaining)
-        self.clock.advance(task.duration)
-        record = task.complete(self.clock.now)
-        self._completed.append(record)
-        self._current.add_visible(task.kind, task.duration)
-        return record
+        """Run a task synchronously; its duration becomes visible latency."""
+        self._ensure_open_record()
+        return self.engine.run_foreground(self, task)
 
     # ------------------------------------------------------------- background
     def submit(self, task: Task, available_at: float | None = None) -> None:
@@ -138,12 +174,17 @@ class TaskScheduler:
         return chosen
 
     def _next_available_time(self) -> float | None:
+        """Earliest availability time among queued tasks (None when empty)."""
         if not self._queue:
             return None
         return min(task.available_at for __, __, task in self._queue)
 
+    def _requeue(self, task: Task) -> None:
+        """Put a preempted task back on the queue with its remaining work."""
+        heapq.heappush(self._queue, (task.priority, task.task_id, task))
+
     def run_background_window(self, duration: float) -> list[CompletedTask]:
-        """Execute queued background work for ``duration`` simulated seconds.
+        """Execute queued background work for one labeling window.
 
         The window models the time the user spends labeling (B x T_user).
         Unfinished tasks keep their remaining work for future windows.  When
@@ -152,93 +193,48 @@ class TaskScheduler:
         """
         if duration < 0:
             raise SchedulerError(f"window duration must be >= 0, got {duration}")
-        if self._current is None or self._finalised:
-            # Same freeze contract as run_foreground: never charge into a
-            # missing or already-reported record.
-            self.begin_iteration(self._current.iteration if self._current is not None else 0)
-        window_start = self.clock.now
-        window_end = window_start + duration
-        completed: list[CompletedTask] = []
-
-        while self.clock.now < window_end - 1e-9:
-            task = self._pop_available(self.clock.now)
-            if task is None:
-                next_time = self._next_available_time()
-                if next_time is not None and next_time < window_end:
-                    # Idle until the next deferred task becomes available.
-                    idle = next_time - self.clock.now
-                    if self.idle_task_factory is not None:
-                        task = self.idle_task_factory()
-                        if task is None:
-                            self._record_idle(idle)
-                            self.clock.advance_to(next_time)
-                            continue
-                    else:
-                        self._record_idle(idle)
-                        self.clock.advance_to(next_time)
-                        continue
-                else:
-                    if self.idle_task_factory is not None:
-                        task = self.idle_task_factory()
-                    if task is None:
-                        self._record_idle(window_end - self.clock.now)
-                        break
-
-            available = window_end - self.clock.now
-            used = task.work(available)
-            self.clock.advance(used)
-            self._record_background(used)
-            if task.finished:
-                record = task.complete(self.clock.now)
-                self._completed.append(record)
-                completed.append(record)
-            else:
-                # Out of window time: requeue with remaining work preserved.
-                heapq.heappush(self._queue, (task.priority, task.task_id, task))
-                break
-
-        self.clock.advance_to(window_end)
-        return completed
+        self._ensure_open_record()
+        return self.engine.run_window(self, duration)
 
     def drain(self, time_limit: float | None = None) -> list[CompletedTask]:
         """Run all queued background work to completion (or until ``time_limit`` seconds).
 
         Used by the serial strategy, which finishes every task before
-        returning control to the user.
+        returning control to the user, so the time counts as visible latency.
+
+        ``time_limit`` is a budget of *consumed task cost* on the simulated
+        engine (the single resource makes cost and elapsed time identical)
+        but an *elapsed-time* deadline on the thread-pool engine, where
+        ``num_workers`` workers can consume up to that many times the budget
+        in cost-units before it expires.
         """
-        completed: list[CompletedTask] = []
-        budget = float("inf") if time_limit is None else float(time_limit)
-        if self._queue and (self._current is None or self._finalised):
-            # Same freeze contract as run_foreground: never charge into a
-            # missing or already-reported record.
-            self.begin_iteration(self._current.iteration if self._current is not None else 0)
-        while self._queue and budget > 1e-9:
-            task = self._pop_available(self.clock.now)
-            if task is None:
-                next_time = self._next_available_time()
-                if next_time is None:
-                    break
-                self.clock.advance_to(next_time)
-                continue
-            used = task.work(min(task.remaining, budget))
-            budget -= used
-            self.clock.advance(used)
-            if self._current is not None:
-                self._current.add_visible(task.kind, used)
-            if task.finished:
-                record = task.complete(self.clock.now)
-                self._completed.append(record)
-                completed.append(record)
-            else:
-                heapq.heappush(self._queue, (task.priority, task.task_id, task))
-                break
-        return completed
+        if self._queue:
+            self._ensure_open_record()
+        return self.engine.drain(self, time_limit)
+
+    def shutdown(self) -> None:
+        """Release engine resources (worker threads, if any)."""
+        self.engine.shutdown()
 
     # -------------------------------------------------------------- accounting
+    # The three helpers below are the only mutation points for latency
+    # records; engines must route every charge through them so each unit of
+    # window time lands in exactly one bucket of exactly one record.
     def _record_background(self, duration: float) -> None:
+        """Charge background busy time to the open record."""
         if self._current is not None:
             self._current.background_time_used += duration
 
     def _record_idle(self, duration: float) -> None:
+        """Charge unused window capacity to the open record."""
         if self._current is not None and duration > 0:
             self._current.background_idle_time += duration
+
+    def _record_visible(self, kind: str, duration: float) -> None:
+        """Charge user-visible time (drained background work) to the open record."""
+        if self._current is not None:
+            self._current.add_visible(kind, duration)
+
+    def _log_completion(self, record: CompletedTask) -> None:
+        """Append one finished task to the completion log."""
+        self._completed.append(record)

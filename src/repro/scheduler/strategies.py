@@ -44,6 +44,7 @@ class StrategyBehaviour:
 
     @property
     def is_serial(self) -> bool:
+        """True for the fully synchronous baseline strategy."""
         return self.name == SERIAL
 
 

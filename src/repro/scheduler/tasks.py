@@ -69,14 +69,22 @@ class Task:
     """One unit of schedulable work.
 
     The ``action`` callable performs the task's side effect (e.g. register a
-    trained model) and receives the simulated completion timestamp.  Durations
-    come from the cost model; the scheduler only tracks time, never executes
-    real heavy work.
+    trained model) and receives the completion timestamp; it runs exactly
+    once, when the task finishes.  Durations come from the cost model.  How
+    the duration is consumed depends on the execution engine: the simulated
+    engine advances a virtual clock, while the thread-pool engine occupies a
+    worker for the scaled wall time — or, when ``payload`` is set, performs
+    real work in cost-unit slices between preemption checkpoints.
     """
 
     kind: str
     duration: float
     action: Callable[[float], None] | None = None
+    #: Optional real work hook for the thread-pool engine: called as
+    #: ``payload(slice_units)`` once per checkpoint slice to perform the work
+    #: corresponding to ``slice_units`` cost-model seconds.  ``None`` means
+    #: the engine models the cost as a blocking (GPU/IO-style) stall.
+    payload: Callable[[float], None] | None = None
     priority: int | None = None
     description: str = ""
     available_at: float = 0.0
@@ -94,10 +102,12 @@ class Task:
 
     @property
     def started(self) -> bool:
+        """True once any of the task's work has been consumed."""
         return self.remaining < self.duration
 
     @property
     def finished(self) -> bool:
+        """True once no work remains (within float tolerance)."""
         return self.remaining <= 1e-12
 
     def work(self, seconds: float) -> float:

@@ -8,6 +8,7 @@ feature extractor" while a newer one is still training.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -27,6 +28,9 @@ class ModelRegistry:
         self._latest_by_feature: dict[str, int] = {}
         self._versions_by_feature: dict[str, int] = {}
         self._next_id = 0
+        # Training actions can complete concurrently on the thread-pool
+        # execution engine's workers; id allocation must stay atomic.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._models)
@@ -41,22 +45,23 @@ class ModelRegistry:
         created_at: float,
     ) -> TrainedModelInfo:
         """Register a newly trained model and mark it as the latest for its feature."""
-        model_id = self._next_id
-        self._next_id += 1
-        version = self._versions_by_feature.get(feature_name, 0) + 1
-        self._versions_by_feature[feature_name] = version
-        info = TrainedModelInfo(
-            model_id=model_id,
-            feature_name=feature_name,
-            version=version,
-            classes=list(classes),
-            num_labels=num_labels,
-            created_at=created_at,
-        )
-        self._models[model_id] = model
-        self._info[model_id] = info
-        self._latest_by_feature[feature_name] = model_id
-        return info
+        with self._lock:
+            model_id = self._next_id
+            self._next_id += 1
+            version = self._versions_by_feature.get(feature_name, 0) + 1
+            self._versions_by_feature[feature_name] = version
+            info = TrainedModelInfo(
+                model_id=model_id,
+                feature_name=feature_name,
+                version=version,
+                classes=list(classes),
+                num_labels=num_labels,
+                created_at=created_at,
+            )
+            self._models[model_id] = model
+            self._info[model_id] = info
+            self._latest_by_feature[feature_name] = model_id
+            return info
 
     # ------------------------------------------------------------------- reads
     def latest(self, feature_name: str) -> tuple[Any, TrainedModelInfo] | None:

@@ -55,6 +55,18 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             SchedulerConfig(eager_batch_size=0)
 
+    def test_engine_settings(self):
+        config = SchedulerConfig(engine="threads", num_workers=2, time_scale=0.01)
+        assert config.engine == "threads"
+        assert config.num_workers == 2
+        assert SchedulerConfig().engine == "simulated"
+        with pytest.raises(ValueError):
+            SchedulerConfig(engine="greenlets")
+        with pytest.raises(ValueError):
+            SchedulerConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(time_scale=0.0)
+
     def test_invalid_model_and_explore_settings(self):
         with pytest.raises(ValueError):
             ModelConfig(l2_regularization=-1.0)

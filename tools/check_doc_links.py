@@ -1,0 +1,85 @@
+"""Markdown link checker for the project's documentation.
+
+Scans the given Markdown files (and directories of them) for inline links
+and validates every *relative* target: the referenced file must exist, and
+when the link carries a ``#fragment`` the target file must contain a heading
+whose GitHub-style anchor matches.  External (``http``/``https``/``mailto``)
+links are skipped — this gate is about keeping the in-repo docs graph sound,
+not about network reachability.
+
+Usage::
+
+    python tools/check_doc_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["check_file", "main"]
+
+#: Inline Markdown links: [text](target), ignoring images' leading "!".
+LINK_PATTERN = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: Fenced code blocks, removed before link extraction.
+CODE_FENCE_PATTERN = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _anchor(heading: str) -> str:
+    """GitHub-style anchor for one heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(markdown: str) -> set[str]:
+    """All heading anchors defined in a Markdown document."""
+    return {_anchor(m.group(1)) for m in HEADING_PATTERN.finditer(markdown)}
+
+
+def check_file(path: Path) -> list[str]:
+    """Validate every relative link in one Markdown file; returns error strings."""
+    errors: list[str] = []
+    text = CODE_FENCE_PATTERN.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = path if not base else (path.parent / base).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _anchors(resolved.read_text(encoding="utf-8")):
+                errors.append(f"{path}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", type=Path, help="Markdown files or directories")
+    args = parser.parse_args(argv)
+
+    files: list[Path] = []
+    for path in args.paths:
+        files.extend(sorted(path.rglob("*.md")) if path.is_dir() else [path])
+
+    errors: list[str] = []
+    for file in files:
+        errors.extend(check_file(file))
+    print(f"checked {len(files)} file(s)")
+    if errors:
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print("all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

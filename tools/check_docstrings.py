@@ -1,0 +1,84 @@
+"""Docstring-coverage gate (dependency-free ``interrogate`` equivalent).
+
+Walks Python files under the given paths with :mod:`ast` and counts
+docstrings on modules, public classes, and public functions/methods
+(names not starting with ``_``, plus ``__init__`` is exempted — its
+contract belongs to the class docstring).  Fails (exit 1) when coverage
+drops below the threshold.
+
+Usage::
+
+    python tools/check_docstrings.py --threshold 85 src/repro/scheduler src/repro/index
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+__all__ = ["coverage", "main"]
+
+
+def _documentable_nodes(tree: ast.Module) -> list[tuple[str, ast.AST]]:
+    """Collect (qualified name, node) pairs that should carry a docstring."""
+    nodes: list[tuple[str, ast.AST]] = [("<module>", tree)]
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = child.name
+                qualified = f"{prefix}{name}"
+                public = not name.startswith("_")
+                if public:
+                    nodes.append((qualified, child))
+                # Look inside classes (methods) and public functions (rare
+                # nested defs are intentionally skipped for functions).
+                if isinstance(child, ast.ClassDef):
+                    visit(child, f"{qualified}.")
+
+    visit(tree, "")
+    return nodes
+
+
+def coverage(paths: list[Path]) -> tuple[int, int, list[str]]:
+    """Return (documented, total, missing names) over all .py files in paths."""
+    documented = 0
+    total = 0
+    missing: list[str] = []
+    for path in paths:
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            tree = ast.parse(file.read_text(encoding="utf-8"))
+            for name, node in _documentable_nodes(tree):
+                total += 1
+                if ast.get_docstring(node):
+                    documented += 1
+                else:
+                    missing.append(f"{file}:{name}")
+    return documented, total, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", type=Path, help="files or directories to check")
+    parser.add_argument(
+        "--threshold", type=float, default=85.0, help="minimum coverage percent (default 85)"
+    )
+    args = parser.parse_args(argv)
+
+    documented, total, missing = coverage(args.paths)
+    percent = 100.0 * documented / total if total else 100.0
+    print(f"docstring coverage: {documented}/{total} = {percent:.1f}% (threshold {args.threshold}%)")
+    if percent < args.threshold:
+        print("missing docstrings:")
+        for name in missing:
+            print(f"  {name}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
