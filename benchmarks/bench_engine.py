@@ -45,9 +45,17 @@ MIN_SPEEDUP = 2.0
 
 
 def simulated_records_digest() -> str:
-    """Hash the latency records + completion log of the seeded reference run."""
+    """Hash the latency records + completion log of the seeded reference run.
+
+    The golden constant predates the incremental training engine, so the
+    reference run pins ``warm_start=False`` to keep the historical cold-start
+    training semantics (zero-initialised fits, stateful-RNG fold assignment)
+    that the hash was captured against.
+    """
     dataset = build_dataset("deer", seed=0)
-    runner = SessionRunner(dataset, RunnerConfig(num_steps=6, strategy="ve-full", seed=0))
+    runner = SessionRunner(
+        dataset, RunnerConfig(num_steps=6, strategy="ve-full", warm_start=False, seed=0)
+    )
     try:
         runner.run()
         scheduler = runner.vocal.session.scheduler

@@ -1,0 +1,247 @@
+"""Incremental-training benchmark: warm-start retrains + fast cross-validation.
+
+(systems microbenchmark, no paper figure)
+
+Exercises the Model Manager's incremental training engine against the
+original cold-start paths (``ModelConfig(warm_start=False)``) on a realistic
+interactive workload: a labeled set of ~2k clips that grows by one explore
+batch per round, retraining the linear probe (T_t) and cross-validating three
+candidate features (T_e) after every append.
+
+Four gates, all of which fail the process (exit 1) when violated:
+
+1. **Retrain speedup** — an incremental retrain (cached design matrix +
+   warm-started L-BFGS) must be >= 3x faster than the cold path at ~2k
+   labels.
+2. **Evaluation-round speedup** — a full ``evaluate_features`` bandit round
+   across 3 candidate features (cached designs, shared standardization,
+   append-stable folds, warm-started fold models) must be >= 2x faster than
+   the cold path.
+3. **Macro-F1 parity** — the warm- and cold-trained models must score within
+   |dF1| <= 0.01 of each other on a held-out labeled set (the training
+   objective is convex, so warm starts change speed, not the predictor).
+4. **Cached-CV bit-identity** — re-running cross-validation with no new
+   labels must return the previous round's result unchanged.
+
+The run also writes ``BENCH_training.json`` (cold vs. warm timings, fold
+reuse hit rate, engine counters) so CI can archive the perf trajectory
+across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_training.py          # full run
+    PYTHONPATH=src python benchmarks/bench_training.py --quick  # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.config import ModelConfig, VocalExploreConfig
+from repro.core.api import VOCALExplore
+from repro.core.oracle import OracleUser
+from repro.datasets.catalog import build_dataset
+from repro.models.metrics import macro_f1
+
+#: Candidate features the evaluation round scores (the bandit's arms).
+FEATURES = ("r3d", "mvit", "clip")
+#: Gate thresholds.
+MIN_TRAIN_SPEEDUP = 3.0
+MIN_EVAL_SPEEDUP = 2.0
+MAX_F1_DELTA = 0.01
+#: Labels appended per round (one explore batch worth of clips, B = 5).
+ROUND_DELTA = 5
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_training.json"
+
+
+def build_system(warm_start: bool, seed: int = 0):
+    """Assemble a VOCALExplore system over k20-skew with 3 candidate features."""
+    dataset = build_dataset("k20-skew", seed=seed)
+    config = VocalExploreConfig(seed=seed).with_updates(
+        model=ModelConfig(warm_start=warm_start)
+    )
+    vocal = VOCALExplore.for_corpus(
+        dataset.train_corpus,
+        vocabulary=dataset.class_names,
+        feature_qualities=dataset.feature_qualities,
+        config=config,
+        candidate_features=list(FEATURES),
+    )
+    return vocal, dataset
+
+
+def label_windows(session, oracle, windows) -> None:
+    """Extract the current feature for ``windows`` and store oracle labels.
+
+    Extracting for the in-use feature first mirrors the explore loop, where
+    selected clips are foreground-extracted before the user labels them (the
+    remaining candidates extract lazily inside their evaluation task).
+    """
+    session.features.ensure_clip_features(FEATURES[0], windows)
+    session.add_labels(oracle.label_clips(windows))
+
+
+def run_workload(num_labels: int, rounds: int, seed: int = 0) -> dict:
+    """Drive the warm and cold systems through the same grow-and-retrain loop."""
+    warm_vocal, dataset = build_system(warm_start=True, seed=seed)
+    cold_vocal, __ = build_system(warm_start=False, seed=seed)
+    systems = {"warm": warm_vocal.session, "cold": cold_vocal.session}
+    oracles = {
+        name: OracleUser(dataset.train_corpus) for name in systems
+    }
+
+    windows = []
+    for vid in dataset.train_corpus.vids():
+        video = warm_vocal.session.storage.videos.get(vid)
+        windows.extend(warm_vocal.session.sampler.feature_windows(video))
+    needed = num_labels + rounds * ROUND_DELTA + 400
+    if len(windows) < needed:
+        raise SystemExit(
+            f"corpus provides {len(windows)} windows, benchmark needs {needed}"
+        )
+    holdout = windows[num_labels + rounds * ROUND_DELTA : needed]
+
+    # Prime both systems with the base label set and one untimed round, so
+    # the measured rounds start from a trained model (the steady state of the
+    # interactive loop) on both sides.
+    for name, session in systems.items():
+        label_windows(session, oracles[name], windows[:num_labels])
+        session.models.train(FEATURES[0])
+        session.alm.evaluate_features()
+
+    timings = {"warm": {"train": 0.0, "evaluate": 0.0}, "cold": {"train": 0.0, "evaluate": 0.0}}
+    for round_index in range(rounds):
+        lo = num_labels + round_index * ROUND_DELTA
+        fresh = windows[lo : lo + ROUND_DELTA]
+        for name, session in systems.items():
+            label_windows(session, oracles[name], fresh)
+            start = time.perf_counter()
+            session.models.train(FEATURES[0])
+            timings[name]["train"] += time.perf_counter() - start
+            start = time.perf_counter()
+            scores = session.alm.evaluate_features()
+            timings[name]["evaluate"] += time.perf_counter() - start
+            if set(scores) != set(FEATURES):
+                raise SystemExit(f"{name} evaluation round scored {sorted(scores)}")
+
+    # Macro-F1 parity of the final warm vs. cold model on held-out clips.
+    truth = [label.label for label in oracles["warm"].label_clips(holdout)]
+    f1 = {}
+    for name, session in systems.items():
+        model, __ = session.models.latest_model(FEATURES[0])
+        features = session.features.matrix(FEATURES[0], holdout)
+        f1[name] = macro_f1(truth, model.predict(features), list(dataset.class_names))
+
+    # Cached-CV bit-identity: with no labels appended, the round must be
+    # served from cache, identical to the previous result.
+    warm_models = systems["warm"].models
+    first = [warm_models.cross_validate(feature) for feature in FEATURES]
+    hits_before = warm_models.stats.cv_cache_hits
+    second = [warm_models.cross_validate(feature) for feature in FEATURES]
+    cached_identical = first == second
+    cache_hits = warm_models.stats.cv_cache_hits - hits_before
+
+    stats = warm_models.stats
+    report = {
+        "workload": {
+            "dataset": "k20-skew",
+            "base_labels": num_labels,
+            "rounds": rounds,
+            "labels_per_round": ROUND_DELTA,
+            "candidate_features": list(FEATURES),
+        },
+        "train": {
+            "warm_s": timings["warm"]["train"],
+            "cold_s": timings["cold"]["train"],
+            "speedup": timings["cold"]["train"] / timings["warm"]["train"],
+        },
+        "evaluate_features": {
+            "warm_s": timings["warm"]["evaluate"],
+            "cold_s": timings["cold"]["evaluate"],
+            "speedup": timings["cold"]["evaluate"] / timings["warm"]["evaluate"],
+        },
+        "parity": {
+            "warm_f1": f1["warm"],
+            "cold_f1": f1["cold"],
+            "delta": abs(f1["warm"] - f1["cold"]),
+        },
+        "cached_cv": {
+            "identical": cached_identical,
+            "cache_hits": cache_hits,
+            "expected_hits": len(FEATURES),
+        },
+        "fold_reuse_rate": stats.fold_reuse_rate,
+        "stats": dataclasses.asdict(stats),
+    }
+    warm_vocal.close()
+    cold_vocal.close()
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run every gate; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke run (smaller workload)")
+    args = parser.parse_args(argv)
+
+    num_labels = 600 if args.quick else 2000
+    rounds = 2 if args.quick else 3
+    report = run_workload(num_labels, rounds)
+    ARTIFACT.write_text(json.dumps(report, indent=2))
+
+    train = report["train"]
+    evaluate = report["evaluate_features"]
+    parity = report["parity"]
+    cached = report["cached_cv"]
+    failures = 0
+
+    print(f"== incremental retrain at ~{num_labels} labels ({rounds} rounds) ==")
+    print(
+        f"warm {train['warm_s']:.3f}s  cold {train['cold_s']:.3f}s  "
+        f"speedup {train['speedup']:.1f}x (gate: >= {MIN_TRAIN_SPEEDUP}x)"
+    )
+    if train["speedup"] < MIN_TRAIN_SPEEDUP:
+        failures += 1
+
+    print()
+    print(f"== evaluate_features round across {len(FEATURES)} candidates ==")
+    print(
+        f"warm {evaluate['warm_s']:.3f}s  cold {evaluate['cold_s']:.3f}s  "
+        f"speedup {evaluate['speedup']:.1f}x (gate: >= {MIN_EVAL_SPEEDUP}x)"
+    )
+    print(f"fold reuse rate: {report['fold_reuse_rate']:.2f}")
+    if evaluate["speedup"] < MIN_EVAL_SPEEDUP:
+        failures += 1
+
+    print()
+    print("== macro-F1 parity on held-out clips ==")
+    print(
+        f"warm {parity['warm_f1']:.4f}  cold {parity['cold_f1']:.4f}  "
+        f"|delta| {parity['delta']:.4f} (gate: <= {MAX_F1_DELTA})"
+    )
+    if parity["delta"] > MAX_F1_DELTA:
+        failures += 1
+
+    print()
+    print("== cached cross-validation (no new labels) ==")
+    print(
+        f"identical results: {cached['identical']}  "
+        f"cache hits: {cached['cache_hits']}/{cached['expected_hits']}"
+    )
+    if not cached["identical"] or cached["cache_hits"] != cached["expected_hits"]:
+        failures += 1
+
+    print()
+    print(f"artifact: {ARTIFACT}")
+    print("PASS" if failures == 0 else f"FAIL ({failures} gate(s) violated)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

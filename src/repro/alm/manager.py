@@ -19,13 +19,13 @@ simulated cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
 
 from ..config import ALMConfig, FeatureSelectionConfig, IndexConfig
-from ..exceptions import AcquisitionError
+from ..exceptions import AcquisitionError, InsufficientLabelsError
 from ..features.feature_manager import ExtractionReport, FeatureManager
 from ..models.model_manager import ModelManager
 from ..storage.label_store import LabelStore
@@ -95,6 +95,11 @@ class ActiveLearningManager:
         self._rare_category = RareCategoryUncertaintyAcquisition()
         self._iteration = 0
         self._last_skew: SkewDecision | None = None
+        #: Per-feature candidate-pool context cache keyed by (feature-store
+        #: epoch, label revision, latest model version): back-to-back Explore
+        #: calls with no new writes skip rebuilding the ClipSpec list and the
+        #: per-labeled-clip overlap scan entirely.
+        self._context_cache: dict[str, tuple[tuple[int, int, int], AcquisitionContext]] = {}
 
     # ------------------------------------------------------------- feature side
     def candidate_features(self) -> list[str]:
@@ -119,7 +124,10 @@ class ActiveLearningManager:
         """Cross-validated macro F1 for every active candidate feature.
 
         Features whose estimate cannot be computed yet (too few labels per
-        class) are scored 0.0 so the bandit keeps them around.
+        class) are scored 0.0 so the bandit keeps them around.  Only
+        :class:`InsufficientLabelsError` means "not enough labels"; any other
+        exception is a real defect (e.g. a shape bug) and propagates instead
+        of being silently masked as a zero score.
         """
         scores: dict[str, float] = {}
         for name in self.bandit.active_arms():
@@ -130,7 +138,7 @@ class ActiveLearningManager:
                     min_labels_per_class=self.selection_config.min_labels_per_class,
                 )
                 scores[name] = result.mean_f1
-            except Exception:
+            except InsufficientLabelsError:
                 scores[name] = 0.0
         return scores
 
@@ -167,6 +175,25 @@ class ActiveLearningManager:
         return self.features.ensure_video_features(feature_name, chosen)
 
     def _candidate_context(self, feature_name: str, target_label: str | None) -> AcquisitionContext:
+        """Build (or reuse) the acquisition context for one feature's pool.
+
+        The context is a pure function of the feature store's contents, the
+        label set, and the latest trained model, so it is cached per feature
+        and keyed on (store epoch, label revision, model version); a hit only
+        swaps in the requested ``target_label``.
+        """
+        cache_key = (
+            self.features.store.epoch(feature_name),
+            self.labels.revision,
+            self.models.registry.latest_version(feature_name),
+        )
+        cached = self._context_cache.get(feature_name)
+        if cached is not None and cached[0] == cache_key:
+            context = cached[1]
+            if context.target_label != target_label:
+                context = replace(context, target_label=target_label)
+            return context
+
         vids, starts, ends, vectors = self.features.candidate_pool_columns(feature_name)
         labeled_clips = self.labels.labeled_clips()
 
@@ -203,7 +230,7 @@ class ActiveLearningManager:
         if self.models.has_model(feature_name):
             model, __ = self.models.latest_model(feature_name)
 
-        return AcquisitionContext(
+        context = AcquisitionContext(
             candidates=candidates,
             candidate_features=candidate_features,
             labeled_clips=labeled_clips,
@@ -212,6 +239,8 @@ class ActiveLearningManager:
             label_counts=self.labels.class_counts(),
             target_label=target_label,
         )
+        self._context_cache[feature_name] = (cache_key, context)
+        return context
 
     def select_segments(
         self,

@@ -72,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore.add_argument("--label-noise", type=float, default=0.0)
     explore.add_argument(
+        "--no-warm-start",
+        dest="warm_start",
+        action="store_false",
+        help="disable the incremental training engine (warm-start retrains, "
+        "cached design matrices, fold-reuse cross-validation) and train every "
+        "model cold from scratch",
+    )
+    explore.add_argument(
         "--engine", choices=ENGINE_NAMES, default="simulated",
         help="execution backend: deterministic simulated clock or a real worker pool",
     )
@@ -134,6 +142,7 @@ def _run_explore(args: argparse.Namespace) -> str:
         force_feature=args.feature,
         force_acquisition=args.acquisition,
         label_noise=args.label_noise,
+        warm_start=args.warm_start,
         engine=args.engine,
         num_workers=args.workers,
         time_scale=args.time_scale,

@@ -28,7 +28,7 @@ import numpy as np
 
 from ..alm.manager import ActiveLearningManager, SelectionResult
 from ..config import VocalExploreConfig
-from ..exceptions import ReproError
+from ..exceptions import InsufficientLabelsError, ReproError
 from ..features.feature_manager import FeatureManager
 from ..models.model_manager import ModelManager
 from ..scheduler.cost_model import CostModel
@@ -553,6 +553,12 @@ class ExplorationSession:
             )
 
     def _record_feature_score(self, feature_name: str) -> None:
+        """Score one candidate feature for the current evaluation round.
+
+        Only "not enough labels yet" is a legitimate zero score; any other
+        exception is a real defect and propagates out of the evaluation task
+        instead of being masked as a bad feature.
+        """
         try:
             result = self.models.cross_validate(
                 feature_name,
@@ -560,7 +566,7 @@ class ExplorationSession:
                 min_labels_per_class=self.config.feature_selection.min_labels_per_class,
             )
             self._round_scores[feature_name] = result.mean_f1
-        except Exception:
+        except InsufficientLabelsError:
             self._round_scores[feature_name] = 0.0
 
     def _flush_round_scores(self) -> list[str]:

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
-from ..config import ALMConfig, SchedulerConfig, VocalExploreConfig
+from ..config import ALMConfig, ModelConfig, SchedulerConfig, VocalExploreConfig
 from ..core.api import VOCALExplore
 from ..core.oracle import NoisyOracleUser, OracleUser
 from ..datasets.synthetic import Dataset
@@ -58,6 +58,10 @@ class RunnerConfig:
     user_labeling_time: float = 10.0
     #: Evaluate held-out F1 every this many steps (1 = every step).
     evaluate_every: int = 1
+    #: Incremental training engine (warm-start retrains, cached design
+    #: matrices, fold-reuse cross-validation); False restores the original
+    #: cold-start training paths.
+    warm_start: bool = True
     #: Execution backend: "simulated" (deterministic) or "threads" (real pool).
     engine: str = "simulated"
     #: Worker-pool size for the "threads" engine.
@@ -149,6 +153,7 @@ class SessionRunner:
                 num_workers=cfg.num_workers,
                 time_scale=cfg.time_scale,
             ),
+            model=ModelConfig(warm_start=cfg.warm_start),
             seed=cfg.seed,
         )
         system_config = system_config.with_updates(

@@ -15,10 +15,17 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import InsufficientLabelsError
-from .linear import SoftmaxRegression
+from .linear import SoftmaxRegression, standardization_stats
 from .metrics import macro_f1
 
-__all__ = ["CrossValidationResult", "stratified_folds", "cross_validate_macro_f1"]
+__all__ = [
+    "CrossValidationResult",
+    "WarmCrossValidation",
+    "IncrementalFoldAssigner",
+    "stratified_folds",
+    "cross_validate_macro_f1",
+    "cross_validate_macro_f1_warm",
+]
 
 
 @dataclass(frozen=True)
@@ -29,6 +36,59 @@ class CrossValidationResult:
     fold_scores: tuple[float, ...]
     classes_evaluated: tuple[str, ...]
     num_examples: int
+
+
+@dataclass(frozen=True)
+class WarmCrossValidation:
+    """Outcome of one warm-start cross-validation round.
+
+    Carries the per-fold models back to the caller so the next round (same
+    feature, one batch of labels later) can seed each fold's optimiser from
+    this round's solution.
+    """
+
+    result: CrossValidationResult
+    #: Trained model per fold index, for warm-starting the next round.
+    fold_models: dict[int, SoftmaxRegression]
+    #: How many folds were seeded from a previous round's solution.
+    warm_started_folds: int
+
+
+class IncrementalFoldAssigner:
+    """Stratified fold assignment that is stable under label appends.
+
+    :func:`stratified_folds` reshuffles every call, so between two bandit
+    rounds most examples change folds and a warm-started fold model faces a
+    largely different training set.  This assigner instead deals each class's
+    labels round-robin into folds **in arrival order**, from a per-class
+    random starting fold: old labels never move, so between rounds a fold's
+    training set changes only by the labels appended since — exactly the
+    situation where the previous round's fold solution is a near-optimal
+    optimiser seed.  Per class, fold sizes stay balanced within one example,
+    matching the stratified dealer's guarantee.
+    """
+
+    def __init__(self, num_folds: int, seed: int = 0) -> None:
+        if num_folds < 2:
+            raise InsufficientLabelsError(f"need at least 2 folds, got {num_folds}")
+        self.num_folds = int(num_folds)
+        self._assignment: list[int] = []
+        self._next_fold: dict[str, int] = {}
+        self._rng = np.random.default_rng(seed)
+
+    def extend(self, labels: Sequence[str]) -> np.ndarray:
+        """Fold index per label, assigning folds to any newly appended tail.
+
+        ``labels`` must be the same append-only sequence on every call
+        (callers pass the label store's insertion-ordered names).
+        """
+        for label in labels[len(self._assignment) :]:
+            nxt = self._next_fold.get(label)
+            if nxt is None:
+                nxt = int(self._rng.integers(self.num_folds))
+            self._assignment.append(nxt)
+            self._next_fold[label] = (nxt + 1) % self.num_folds
+        return np.asarray(self._assignment[: len(labels)], dtype=np.int64)
 
 
 def stratified_folds(
@@ -56,25 +116,21 @@ def stratified_folds(
     return [np.asarray(sorted(fold), dtype=np.int64) for fold in folds]
 
 
-def cross_validate_macro_f1(
+def _eligible_split(
     features: np.ndarray,
     labels: Sequence[str],
-    num_folds: int = 3,
-    min_labels_per_class: int = 3,
-    l2_regularization: float = 1e-2,
-    max_iterations: int = 200,
-    rng: np.random.Generator | None = None,
-) -> CrossValidationResult:
-    """Estimate macro F1 by k-fold cross-validation on the labeled set.
+    num_folds: int,
+    min_labels_per_class: int,
+) -> tuple[np.ndarray, list[str], list[str], np.ndarray]:
+    """Filter to classes with enough labels.
 
-    Classes with fewer than ``min_labels_per_class`` examples are excluded so
-    each fold's train and test splits contain every evaluated class.
+    Returns ``(kept_features, kept_labels, eligible_classes, keep)`` where
+    ``keep`` holds the original indices of the surviving examples.
 
     Raises:
         InsufficientLabelsError: when fewer than two classes survive the
             minimum-count filter or there are too few examples to form folds.
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
     features = np.asarray(features, dtype=np.float64)
     labels = list(labels)
     if features.shape[0] != len(labels):
@@ -95,8 +151,32 @@ def cross_validate_macro_f1(
         raise InsufficientLabelsError(
             f"need at least {num_folds} eligible examples, have {len(keep)}"
         )
-    kept_features = features[keep]
-    kept_labels = [labels[i] for i in keep]
+    keep_array = np.asarray(keep, dtype=np.int64)
+    return features[keep_array], [labels[i] for i in keep], eligible_classes, keep_array
+
+
+def cross_validate_macro_f1(
+    features: np.ndarray,
+    labels: Sequence[str],
+    num_folds: int = 3,
+    min_labels_per_class: int = 3,
+    l2_regularization: float = 1e-2,
+    max_iterations: int = 200,
+    rng: np.random.Generator | None = None,
+) -> CrossValidationResult:
+    """Estimate macro F1 by k-fold cross-validation on the labeled set.
+
+    Classes with fewer than ``min_labels_per_class`` examples are excluded so
+    each fold's train and test splits contain every evaluated class.
+
+    Raises:
+        InsufficientLabelsError: when fewer than two classes survive the
+            minimum-count filter or there are too few examples to form folds.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    kept_features, kept_labels, eligible_classes, __ = _eligible_split(
+        features, labels, num_folds, min_labels_per_class
+    )
 
     folds = stratified_folds(kept_labels, num_folds, rng)
     scores: list[float] = []
@@ -126,5 +206,117 @@ def cross_validate_macro_f1(
         mean_f1=float(np.mean(scores)),
         fold_scores=tuple(scores),
         classes_evaluated=tuple(eligible_classes),
-        num_examples=len(keep),
+        num_examples=len(kept_labels),
+    )
+
+
+def cross_validate_macro_f1_warm(
+    features: np.ndarray,
+    labels: Sequence[str],
+    num_folds: int = 3,
+    min_labels_per_class: int = 3,
+    l2_regularization: float = 1e-2,
+    max_iterations: int = 200,
+    rng: np.random.Generator | None = None,
+    previous_fold_models: dict[int, SoftmaxRegression] | None = None,
+    fold_assignment: np.ndarray | None = None,
+    warm_tolerance: float | None = None,
+) -> WarmCrossValidation:
+    """Fast-path k-fold macro F1: shared standardization + warm-started folds.
+
+    Differences from :func:`cross_validate_macro_f1`, all trading a little
+    statistical purity for a large constant-factor win on the interactive
+    retrain path:
+
+    * the standardization statistics are computed **once** over the full
+      eligible matrix and shared by every fold (sliced by index arrays),
+      instead of re-deriving mean/std from each of ``num_folds`` train
+      splits;
+    * each fold's optimiser is seeded from ``previous_fold_models`` (the same
+      fold of the previous bandit round), re-expressed in this round's
+      standardization basis and aligned by class name so a vocabulary that
+      grew between rounds zero-pads the new columns; and
+    * when ``fold_assignment`` is given — one fold index per entry of
+      ``labels``, typically from :class:`IncrementalFoldAssigner` — it
+      replaces the shuffled stratified split, keeping fold membership stable
+      across rounds so the warm seeds face almost-unchanged training sets.
+
+    ``warm_tolerance``, when given, loosens the optimiser's stopping
+    tolerance for warm-seeded folds only (a near-optimal seed spends most
+    residual iterations on sub-visible polishing).
+
+    The per-fold objective is convex, so warm starts change only how fast the
+    optimiser converges, not (within tolerance) the fold predictions.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    kept_features, kept_labels, eligible_classes, keep = _eligible_split(
+        features, labels, num_folds, min_labels_per_class
+    )
+
+    # One set of standardization statistics for the whole eligible matrix;
+    # every fold trains with these shared stats (and carries them, so the
+    # next round's warm start can change basis exactly) instead of
+    # recomputing mean/std over each train split.
+    shared_stats = standardization_stats(kept_features)
+    d = kept_features.shape[1]
+
+    previous_fold_models = previous_fold_models if previous_fold_models is not None else {}
+    if fold_assignment is not None:
+        if len(fold_assignment) != len(labels):
+            raise InsufficientLabelsError(
+                f"fold assignment covers {len(fold_assignment)} labels, expected {len(labels)}"
+            )
+        kept_assignment = np.asarray(fold_assignment, dtype=np.int64)[keep]
+        folds = [np.flatnonzero(kept_assignment == fold) for fold in range(num_folds)]
+    else:
+        folds = stratified_folds(kept_labels, num_folds, rng)
+    scores: list[float] = []
+    fold_models: dict[int, SoftmaxRegression] = {}
+    warm_started = 0
+    for fold_index, fold in enumerate(folds):
+        test_mask = np.zeros(len(kept_labels), dtype=bool)
+        test_mask[fold] = True
+        train_indices = np.flatnonzero(~test_mask)
+        test_indices = np.flatnonzero(test_mask)
+        if len(train_indices) == 0 or len(test_indices) == 0:
+            continue
+        train_labels = [kept_labels[i] for i in train_indices]
+        if len(set(train_labels)) < 2:
+            continue
+        initial = None
+        previous = previous_fold_models.get(fold_index)
+        if previous is not None:
+            initial = previous.initial_parameters_for(
+                eligible_classes, d, standardization=shared_stats
+            )
+        if initial is not None:
+            warm_started += 1
+        model = SoftmaxRegression(
+            classes=eligible_classes,
+            l2_regularization=l2_regularization,
+            max_iterations=max_iterations,
+        )
+        if initial is not None and warm_tolerance is not None:
+            model.tolerance = float(warm_tolerance)
+        model.fit(
+            kept_features[train_indices],
+            train_labels,
+            initial_parameters=initial,
+            standardization=shared_stats,
+        )
+        fold_models[fold_index] = model
+        predictions = model.predict(kept_features[test_indices])
+        truth = [kept_labels[i] for i in test_indices]
+        scores.append(macro_f1(truth, predictions, eligible_classes))
+
+    if not scores:
+        raise InsufficientLabelsError("cross-validation produced no usable folds")
+    result = CrossValidationResult(
+        mean_f1=float(np.mean(scores)),
+        fold_scores=tuple(scores),
+        classes_evaluated=tuple(eligible_classes),
+        num_examples=len(kept_labels),
+    )
+    return WarmCrossValidation(
+        result=result, fold_models=fold_models, warm_started_folds=warm_started
     )

@@ -79,6 +79,11 @@ class _ExtractorShard:
     def __init__(self, fid: str, dim: int | None = None) -> None:
         self.fid = fid
         self._n = 0
+        #: write counter: bumped whenever the shard's contents change (single
+        #: adds, batched adds, adopted columns).  Lets derived caches — the
+        #: Model Manager's design matrices, the ALM's candidate-pool context —
+        #: detect staleness without comparing contents.
+        self.epoch = 0
         self._dim = -1 if dim is None else int(dim)
         self._capacity = 0
         self._vids = np.empty(0, dtype=np.int64)
@@ -178,6 +183,7 @@ class _ExtractorShard:
         self._vid_rows.setdefault(clip.vid, []).append(row)
         self._gsort = None
         self._n = row + 1
+        self.epoch += 1
         return True
 
     def add_batch(
@@ -226,6 +232,7 @@ class _ExtractorShard:
         self._mids[span] = (starts[take] + ends[take]) / 2.0
         self._matrix[span] = vectors[take]
         self._n += count
+        self.epoch += 1
         return count
 
     def adopt_columns(
@@ -258,6 +265,7 @@ class _ExtractorShard:
         self._gsort = None
         self._vindex = None
         self._vindex_rows = 0
+        self.epoch += 1
 
     # ----------------------------------------------------------------- reads
     def has(self, clip: ClipSpec) -> bool:
@@ -435,6 +443,18 @@ class FeatureStore:
         shard = self._shards.get(fid)
         return len(shard) if shard is not None else 0
 
+    def epoch(self, fid: str) -> int:
+        """Write counter for ``fid``'s shard (0 while no shard exists).
+
+        The epoch increments on every content change (``add``, ``add_batch``
+        with at least one fresh row, adopted columns on load) and never on
+        reads, so ``epoch(fid)`` equality between two moments guarantees the
+        shard's contents — and therefore every clip-to-row resolution — are
+        unchanged.  Downstream caches key on it for invalidation.
+        """
+        shard = self._shards.get(fid)
+        return shard.epoch if shard is not None else 0
+
     def dim(self, fid: str) -> int | None:
         """Vector dimensionality for ``fid``, or None while unknown."""
         shard = self._shards.get(fid)
@@ -529,6 +549,20 @@ class FeatureStore:
         """The stored clip each entry of ``clips`` resolves to under :meth:`matrix`."""
         shard = self._shard(fid)
         return shard.clips(self._resolve_rows(shard, clips))
+
+    def resolve_rows(self, fid: str, clips: Sequence[ClipSpec]) -> np.ndarray:
+        """Row index each clip resolves to under :meth:`matrix`.
+
+        Rows are append-only and never rewritten, so a row index — unlike the
+        epoch — stays valid across writes; the Model Manager's design cache
+        uses this to prove its cached gathers are still current after new
+        vectors were appended.
+
+        Raises:
+            MissingFeatureError: when the extractor is unknown or a clip's
+                video has no stored vectors at all.
+        """
+        return self._resolve_rows(self._shard(fid), clips)
 
     def _resolve_rows(
         self, shard: _ExtractorShard, clips: Sequence[ClipSpec]

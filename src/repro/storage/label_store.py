@@ -36,9 +36,20 @@ class LabelStore:
     def __init__(self) -> None:
         self._table = Table(self.TABLE_NAME, _SCHEMA, primary_key="label_id")
         self._next_id = 0
+        self._revision = 0
 
     def __len__(self) -> int:
         return len(self._table)
+
+    @property
+    def revision(self) -> int:
+        """Monotonically increasing write counter (one tick per stored label).
+
+        Because the store is append-only, a consumer that cached derived state
+        at revision ``r`` can catch up by processing only ``since(r)``; the
+        Model Manager's design-matrix cache relies on this.
+        """
+        return self._revision
 
     # ------------------------------------------------------------------ writes
     def add(self, label: Label) -> int:
@@ -54,6 +65,7 @@ class LabelStore:
             }
         )
         self._next_id += 1
+        self._revision += 1
         return label_id
 
     def add_many(self, labels: Iterable[Label]) -> list[int]:
@@ -66,6 +78,26 @@ class LabelStore:
         return [
             Label(vid=row["vid"], start=row["start"], end=row["end"], label=row["label"])
             for row in self._table.rows()
+        ]
+
+    def since(self, revision: int) -> list[Label]:
+        """Labels appended after ``revision``, in insertion order.
+
+        ``since(self.revision)`` is always empty; ``since(0)`` equals
+        :meth:`all`.  Revisions tick once per stored label, so the labels
+        newer than revision ``r`` are exactly the rows inserted at positions
+        ``r`` onwards.
+        """
+        if revision >= self._revision:
+            return []
+        # Direct row indexing: materialising only the appended tail keeps this
+        # O(new labels), not O(all labels).
+        return [
+            Label(vid=row["vid"], start=row["start"], end=row["end"], label=row["label"])
+            for row in (
+                self._table.row(index)
+                for index in range(max(0, revision), len(self._table))
+            )
         ]
 
     def for_video(self, vid: int) -> list[Label]:
@@ -126,4 +158,5 @@ class LabelStore:
         store._table = load_table(cls.TABLE_NAME, directory)
         ids = store._table.column("label_id")
         store._next_id = int(max(ids)) + 1 if len(ids) else 0
+        store._revision = len(store._table)
         return store

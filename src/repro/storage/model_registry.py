@@ -71,6 +71,16 @@ class ModelRegistry:
             return None
         return self._models[model_id], self._info[model_id]
 
+    def latest_version(self, feature_name: str) -> int:
+        """Version of the most recent model for ``feature_name`` (0 when none).
+
+        Monotonically increasing per feature, so it doubles as a cheap cache
+        key: derived state computed against version ``v`` stays valid until
+        ``latest_version`` reports something newer (registered models are
+        never mutated in place).
+        """
+        return self._versions_by_feature.get(feature_name, 0)
+
     def get(self, model_id: int) -> tuple[Any, TrainedModelInfo]:
         """Return a model and its metadata by id."""
         if model_id not in self._models:

@@ -164,3 +164,72 @@ class TestSelection:
         storage, __, __, alm = build_alm(skewed_corpus)
         label_videos(storage, skewed_corpus, 30)
         assert alm.label_diversity() == storage.labels.diversity_smax()
+
+
+class TestEvaluateFeaturesErrorHandling:
+    def test_insufficient_labels_scores_zero(self, small_corpus):
+        storage, __, model_manager, alm = build_alm(small_corpus)
+        label_videos(storage, small_corpus, 2)
+        scores = alm.evaluate_features()
+        assert set(scores.values()) == {0.0}
+
+    def test_unexpected_error_propagates(self, small_corpus, monkeypatch):
+        """A real defect (e.g. a shape bug) must not be masked as a 0.0 score."""
+        storage, __, model_manager, alm = build_alm(small_corpus)
+        label_videos(storage, small_corpus, 9)
+
+        def broken(*args, **kwargs):
+            raise ValueError("shape bug")
+
+        monkeypatch.setattr(model_manager, "cross_validate", broken)
+        with pytest.raises(ValueError, match="shape bug"):
+            alm.evaluate_features()
+
+
+class TestCandidateContextCache:
+    def test_context_reused_when_nothing_changed(self, small_corpus):
+        storage, feature_manager, __, alm = build_alm(small_corpus)
+        label_videos(storage, small_corpus, 6)
+        feature_manager.ensure_video_features("r3d", storage.videos.vids()[:10])
+        first = alm._candidate_context("r3d", None)
+        second = alm._candidate_context("r3d", None)
+        assert second is first
+
+    def test_target_label_swapped_on_cache_hit(self, small_corpus):
+        storage, feature_manager, __, alm = build_alm(small_corpus)
+        label_videos(storage, small_corpus, 6)
+        feature_manager.ensure_video_features("r3d", storage.videos.vids()[:10])
+        base = alm._candidate_context("r3d", None)
+        targeted = alm._candidate_context("r3d", "walk")
+        assert targeted.target_label == "walk"
+        assert targeted.candidates is base.candidates
+
+    def test_new_label_invalidates_context(self, small_corpus):
+        storage, feature_manager, __, alm = build_alm(small_corpus)
+        label_videos(storage, small_corpus, 6)
+        feature_manager.ensure_video_features("r3d", storage.videos.vids()[:10])
+        first = alm._candidate_context("r3d", None)
+        label_videos(storage, small_corpus, 1, start=6)
+        second = alm._candidate_context("r3d", None)
+        assert second is not first
+
+    def test_feature_write_invalidates_context(self, small_corpus):
+        storage, feature_manager, __, alm = build_alm(small_corpus)
+        label_videos(storage, small_corpus, 6)
+        feature_manager.ensure_video_features("r3d", storage.videos.vids()[:10])
+        first = alm._candidate_context("r3d", None)
+        feature_manager.ensure_video_features("r3d", storage.videos.vids()[10:12])
+        second = alm._candidate_context("r3d", None)
+        assert second is not first
+        assert len(second.candidates) > len(first.candidates)
+
+    def test_new_model_invalidates_context(self, small_corpus):
+        storage, feature_manager, model_manager, alm = build_alm(small_corpus)
+        label_videos(storage, small_corpus, 9)
+        feature_manager.ensure_video_features("r3d", storage.videos.vids()[:10])
+        first = alm._candidate_context("r3d", None)
+        assert first.model is None
+        model_manager.train("r3d")
+        second = alm._candidate_context("r3d", None)
+        assert second is not first
+        assert second.model is not None

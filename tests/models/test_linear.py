@@ -197,3 +197,35 @@ class TestOneVsRest:
     def test_predict_before_fit_raises(self):
         with pytest.raises(NotFittedError):
             OneVsRestClassifier(["a"]).predict_proba(np.zeros((1, 2)))
+
+
+class TestEncodeLabels:
+    def test_vectorized_encoding_matches_vocabulary_order(self):
+        model = SoftmaxRegression(["walk", "eat", "rest"])
+        encoded = model.encode_labels(["rest", "walk", "eat", "walk"])
+        assert encoded.tolist() == [2, 0, 1, 0]
+        assert encoded.dtype == np.int64
+
+    def test_empty_input(self):
+        model = SoftmaxRegression(["walk", "eat"])
+        assert model.encode_labels([]).shape == (0,)
+
+    def test_unknown_labels_all_named_in_error(self):
+        model = SoftmaxRegression(["walk", "eat"])
+        with pytest.raises(InsufficientLabelsError) as excinfo:
+            model.encode_labels(["walk", "swim", "fly", "swim"])
+        message = str(excinfo.value)
+        assert "swim" in message and "fly" in message
+        assert "walk" not in message.split("vocabulary")[0]
+
+    def test_label_longer_than_any_vocabulary_entry(self):
+        model = SoftmaxRegression(["a", "b"])
+        with pytest.raises(InsufficientLabelsError):
+            model.encode_labels(["a", "zzzzzzzzzz"])
+
+    @given(st.lists(st.sampled_from(["c0", "c1", "c2", "c3"]), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trips_through_class_list(self, labels):
+        model = SoftmaxRegression(["c0", "c1", "c2", "c3"])
+        encoded = model.encode_labels(labels)
+        assert [model.classes[i] for i in encoded] == labels

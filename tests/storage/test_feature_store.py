@@ -199,3 +199,84 @@ class TestFeatureStorePersistence:
         vids, __, __, vectors = loaded.columns("r3d")
         np.testing.assert_array_equal(vids, [3, 1, 2])
         np.testing.assert_allclose(vectors[:, 0], [3.0, 1.0, 2.0])
+
+
+class TestEpoch:
+    def test_unknown_extractor_is_epoch_zero(self):
+        store = FeatureStore()
+        assert store.epoch("r3d") == 0
+
+    def test_writes_bump_epoch(self):
+        store = FeatureStore()
+        store.add(feature())
+        first = store.epoch("r3d")
+        assert first > 0
+        store.add(feature(vid=1))
+        assert store.epoch("r3d") > first
+
+    def test_duplicate_add_does_not_bump(self):
+        store = FeatureStore()
+        store.add(feature())
+        before = store.epoch("r3d")
+        assert store.add(feature(value=9.0)) is False
+        assert store.epoch("r3d") == before
+
+    def test_add_batch_bumps_once_for_fresh_rows(self):
+        store = FeatureStore()
+        store.add(feature())
+        before = store.epoch("r3d")
+        store.add_batch(
+            "r3d",
+            np.array([0, 1]),
+            np.array([0.0, 0.0]),
+            np.array([1.0, 1.0]),
+            np.ones((2, 8)),
+        )
+        assert store.epoch("r3d") == before + 1
+
+    def test_add_batch_of_only_duplicates_does_not_bump(self):
+        store = FeatureStore()
+        store.add(feature())
+        before = store.epoch("r3d")
+        store.add_batch(
+            "r3d", np.array([0]), np.array([0.0]), np.array([1.0]), np.ones((1, 8))
+        )
+        assert store.epoch("r3d") == before
+
+    def test_reads_do_not_bump(self):
+        store = FeatureStore()
+        store.add(feature())
+        before = store.epoch("r3d")
+        store.get("r3d", ClipSpec(0, 0.0, 1.0))
+        store.matrix("r3d", [ClipSpec(0, 0.2, 0.8)])
+        store.covering_mask("r3d", [ClipSpec(0, 0.0, 1.0)])
+        assert store.epoch("r3d") == before
+
+    def test_epochs_are_per_extractor(self):
+        store = FeatureStore()
+        store.add(feature(fid="r3d"))
+        assert store.epoch("mvit") == 0
+
+
+class TestResolveRows:
+    def test_exact_and_nearest_resolution(self):
+        store = FeatureStore()
+        store.add(feature(vid=0, start=0.0, end=1.0, value=1.0))
+        store.add(feature(vid=0, start=1.0, end=2.0, value=2.0))
+        rows = store.resolve_rows(
+            "r3d", [ClipSpec(0, 1.0, 2.0), ClipSpec(0, 0.1, 0.9), ClipSpec(0, 1.4, 1.6)]
+        )
+        assert rows.tolist() == [1, 0, 1]
+
+    def test_rows_stable_under_appends_elsewhere(self):
+        store = FeatureStore()
+        store.add(feature(vid=0, start=0.0, end=1.0))
+        clips = [ClipSpec(0, 0.0, 1.0)]
+        before = store.resolve_rows("r3d", clips)
+        store.add(feature(vid=5, start=0.0, end=1.0))
+        np.testing.assert_array_equal(store.resolve_rows("r3d", clips), before)
+
+    def test_unknown_extractor_raises(self):
+        store = FeatureStore()
+        with pytest.raises(MissingFeatureError):
+            store.resolve_rows("r3d", [ClipSpec(0, 0.0, 1.0)])

@@ -96,3 +96,45 @@ class TestLabelStore:
         assert loaded.class_counts() == {"walk": 1, "eat": 1}
         # New ids continue after the loaded maximum.
         assert loaded.add(label(9)) == 2
+
+
+class TestRevision:
+    def test_revision_ticks_per_label(self):
+        store = LabelStore()
+        assert store.revision == 0
+        store.add(label(0))
+        store.add(label(1))
+        assert store.revision == 2
+        store.add_many([label(2), label(3)])
+        assert store.revision == 4
+
+    def test_since_returns_appended_tail(self):
+        store = LabelStore()
+        store.add(label(0, name="walk"))
+        checkpoint = store.revision
+        store.add(label(1, name="eat"))
+        store.add(label(2, name="rest"))
+        tail = store.since(checkpoint)
+        assert [entry.label for entry in tail] == ["eat", "rest"]
+        assert [entry.vid for entry in tail] == [1, 2]
+
+    def test_since_current_revision_is_empty(self):
+        store = LabelStore()
+        store.add(label(0))
+        assert store.since(store.revision) == []
+        assert store.since(store.revision + 5) == []
+
+    def test_since_zero_equals_all(self):
+        store = LabelStore()
+        store.add_many([label(0), label(1), label(2)])
+        assert store.since(0) == store.all()
+
+    def test_load_restores_revision(self, tmp_path):
+        store = LabelStore()
+        store.add_many([label(0), label(1)])
+        store.save(tmp_path)
+        loaded = LabelStore.load(tmp_path)
+        assert loaded.revision == 2
+        loaded.add(label(2))
+        assert loaded.revision == 3
+        assert [entry.vid for entry in loaded.since(2)] == [2]

@@ -103,3 +103,17 @@ class TestStorageManager:
         assert len(loaded.labels) == 1
         assert loaded.videos.get(1).path == "b.mp4"
         assert loaded.features.extractors() == []
+
+
+class TestLatestVersion:
+    def test_zero_before_any_model(self):
+        registry = ModelRegistry()
+        assert registry.latest_version("r3d") == 0
+
+    def test_tracks_registrations_per_feature(self):
+        registry = ModelRegistry()
+        registry.register("r3d", DummyModel(1.0), ["a"], 1, 0.0)
+        registry.register("r3d", DummyModel(2.0), ["a"], 2, 1.0)
+        registry.register("mvit", DummyModel(3.0), ["a"], 1, 2.0)
+        assert registry.latest_version("r3d") == 2
+        assert registry.latest_version("mvit") == 1
