@@ -92,6 +92,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall seconds per cost-model second for --engine threads "
         "(use e.g. 0.001 to compress a session into milliseconds)",
     )
+    explore.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for durable checkpoints: store writes are journaled "
+        "(write-ahead, fsynced) and full snapshots enable --resume",
+    )
+    explore.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="take an automatic snapshot every N finished steps "
+        "(requires --checkpoint-dir; 0 = never)",
+    )
+    explore.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run from --checkpoint-dir's last valid "
+        "snapshot and continue to --steps",
+    )
     explore.add_argument("--seed", type=int, default=0)
 
     search = subparsers.add_parser("search", help='similarity search ("find clips like this")')
@@ -135,6 +150,8 @@ def _run_explore(args: argparse.Namespace) -> str:
     from .datasets.catalog import build_dataset
 
     dataset = build_dataset(args.dataset, seed=args.seed)
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
     config = RunnerConfig(
         num_steps=args.steps,
         batch_size=args.batch_size,
@@ -146,6 +163,9 @@ def _run_explore(args: argparse.Namespace) -> str:
         engine=args.engine,
         num_workers=args.workers,
         time_scale=args.time_scale,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
         seed=args.seed,
     )
     runner = SessionRunner(dataset, config)
@@ -153,6 +173,17 @@ def _run_explore(args: argparse.Namespace) -> str:
         result = runner.run()
     finally:
         runner.close()
+    resume_note = ""
+    if runner.recovery is not None:
+        resume_note = (
+            f"resumed from generation {runner.recovery.generation} "
+            f"at step {runner.recovery.resumed_iteration}"
+            + (
+                f" ({len(runner.recovery.tail_labels)} durable tail labels re-derived)"
+                if runner.recovery.tail_labels
+                else ""
+            )
+        )
     rows = [
         {
             "step": step.step,
@@ -171,6 +202,8 @@ def _run_explore(args: argparse.Namespace) -> str:
         f"cumulative visible latency: {result.cumulative_visible_latency:.1f} s",
         f"selected feature: {result.selected_feature or '(not converged)'}",
     ]
+    if resume_note:
+        lines.append(resume_note)
     return "\n".join(lines)
 
 

@@ -123,6 +123,14 @@ class SchedulerConfig:
     #: means real time, small values (e.g. 1e-3) compress seeded workloads
     #: into milliseconds for benchmarks and tests.
     time_scale: float = 1.0
+    #: Directory for durable checkpoints (``repro.storage.durability``).
+    #: When set, every store write is journaled (write-ahead, fsynced at
+    #: iteration boundaries) and ``ExplorationSession.checkpoint()/resume()``
+    #: become available; ``None`` disables durability entirely.
+    checkpoint_dir: str | None = None
+    #: Take an automatic snapshot every N completed iterations (0 = only
+    #: explicit ``checkpoint()`` calls).  Requires ``checkpoint_dir``.
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         if self.strategy not in ("serial", "ve-partial", "ve-full"):
@@ -141,6 +149,18 @@ class SchedulerConfig:
             raise ValueError("num_workers must be >= 1")
         if self.time_scale <= 0:
             raise ValueError("time_scale must be > 0")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.checkpoint_every > 0 and self.checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir to be set")
+        if self.checkpoint_every > 0 and self.engine != "simulated":
+            # Fail at construction, not at the first auto-checkpoint boundary
+            # mid-run: snapshots capture the deterministic simulated state.
+            raise ValueError(
+                "checkpoint_every requires the simulated engine "
+                f"(got engine={self.engine!r}); journaling alone "
+                "(checkpoint_dir without checkpoint_every) works on any engine"
+            )
 
 
 @dataclass(frozen=True)

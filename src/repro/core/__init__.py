@@ -2,7 +2,13 @@
 
 from .api import VOCALExplore
 from .oracle import NoisyOracleUser, OracleUser
-from .session import ExplorationSession, ExploreResult, IterationSummary, SearchHit
+from .session import (
+    ExplorationSession,
+    ExploreResult,
+    IterationSummary,
+    RecoveryReport,
+    SearchHit,
+)
 
 __all__ = [
     "VOCALExplore",
@@ -10,6 +16,7 @@ __all__ = [
     "ExploreResult",
     "IterationSummary",
     "SearchHit",
+    "RecoveryReport",
     "OracleUser",
     "NoisyOracleUser",
 ]

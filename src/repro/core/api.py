@@ -33,7 +33,13 @@ from ..types import VideoSegment
 from ..video.corpus import VideoCorpus
 from ..video.decoder import Decoder
 from ..video.sampler import ClipSampler
-from .session import ExplorationSession, ExploreResult, IterationSummary, SearchHit
+from .session import (
+    ExplorationSession,
+    ExploreResult,
+    IterationSummary,
+    RecoveryReport,
+    SearchHit,
+)
 
 __all__ = ["VOCALExplore"]
 
@@ -171,6 +177,26 @@ class VOCALExplore:
         clock.
         """
         return self._session.search(query, k=k, feature_name=feature_name)
+
+    # ------------------------------------------------------ durable checkpoints
+    def checkpoint(self) -> int:
+        """Write an atomic full-state snapshot; returns the generation number.
+
+        Requires ``SchedulerConfig.checkpoint_dir``.  With
+        ``checkpoint_every`` set, snapshots are also taken automatically
+        every N finished iterations.
+        """
+        return self._session.checkpoint()
+
+    def resume(self) -> RecoveryReport:
+        """Restore this freshly built instance from its checkpoint directory.
+
+        Recovers the newest valid snapshot plus the journal tail; the run
+        continues bit-identically from the recovered iteration on the
+        simulated engine.  See :class:`~repro.core.session.RecoveryReport`
+        for what the journal tail preserved.
+        """
+        return self._session.resume()
 
     # -------------------------------------------------------------- statistics
     def finish_iteration(self) -> IterationSummary:

@@ -28,7 +28,7 @@ import numpy as np
 
 from ..alm.manager import ActiveLearningManager, SelectionResult
 from ..config import VocalExploreConfig
-from ..exceptions import InsufficientLabelsError, ReproError
+from ..exceptions import CheckpointError, InsufficientLabelsError, ReproError
 from ..features.feature_manager import FeatureManager
 from ..models.model_manager import ModelManager
 from ..scheduler.cost_model import CostModel
@@ -36,12 +36,20 @@ from ..scheduler.engine import build_engine
 from ..scheduler.scheduler import TaskScheduler
 from ..scheduler.strategies import StrategyBehaviour, strategy_behaviour
 from ..scheduler.tasks import Task, TaskKind
+from ..storage.durability.manager import CheckpointManager
 from ..storage.storage_manager import StorageManager
 from ..types import ClipSpec, Label, VideoSegment
 from ..video.corpus import VideoCorpus
 from ..video.sampler import ClipSampler
+from . import checkpoint as _checkpoint
 
-__all__ = ["ExploreResult", "IterationSummary", "SearchHit", "ExplorationSession"]
+__all__ = [
+    "ExploreResult",
+    "IterationSummary",
+    "SearchHit",
+    "RecoveryReport",
+    "ExplorationSession",
+]
 
 
 @dataclass(frozen=True)
@@ -91,6 +99,36 @@ class IterationSummary:
     eliminated_features: list[str] = field(default_factory=list)
     candidate_features: list[str] = field(default_factory=list)
     smax: float = 0.0
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`ExplorationSession.resume` recovered.
+
+    The session continues from ``resumed_iteration`` (the last durable
+    checkpoint).  Writes journaled *after* that checkpoint were durable but
+    belong to iterations the resumed run will re-execute, so they are
+    surfaced here instead of silently applied: ``tail_labels`` holds every
+    recovered label, and ``tail_records`` the raw journal tail (apply it to
+    a plain workspace with ``repro.storage.durability.replay_records``).
+    """
+
+    #: Snapshot generation recovered (0 = no checkpoint existed yet).
+    generation: int
+    #: Iteration the session was restored to.
+    resumed_iteration: int
+    #: Journal records durable after the recovered checkpoint.
+    tail_records: list[dict]
+    #: Labels contained in the journal tail (durable but not re-applied).
+    tail_labels: list[Label]
+    #: Iterations whose boundary markers appear in the tail.
+    tail_iterations: list[int]
+    #: Bytes of torn journal tail truncated during recovery.
+    truncated_bytes: int
+    #: Newer snapshot generations rejected as invalid/corrupt.
+    rejected_generations: list[int]
+    #: Caller-supplied state stored at checkpoint time (oracle RNGs etc.).
+    extra_state: dict | None = None
 
 
 class ExplorationSession:
@@ -155,14 +193,35 @@ class ExplorationSession:
         if self.behaviour.eager_extraction:
             self.scheduler.idle_task_factory = self._make_eager_task
 
+        #: Durable checkpointing (``repro.storage.durability``): when a
+        #: checkpoint directory is configured, every store write is journaled
+        #: and a full snapshot is taken every ``checkpoint_every`` completed
+        #: iterations.  ``extra_state_provider`` lets the driver persist its
+        #: own small state (e.g. a noisy oracle's RNG) inside each checkpoint.
+        self.durability: CheckpointManager | None = None
+        self.extra_state_provider = None
+        if config.scheduler.checkpoint_dir is not None:
+            self.durability = CheckpointManager(config.scheduler.checkpoint_dir)
+            storage.attach_journal(self.durability.journal_record)
+
     # ---------------------------------------------------------------- lifecycle
     def close(self) -> None:
         """Release execution-engine resources (worker threads, if any).
 
         A no-op for the simulated engine; for the thread-pool engine it joins
-        the worker and shard pools.  Safe to call more than once.
+        the worker and shard pools.  Safe to call more than once.  When
+        durable checkpointing is on, pending journal records are committed
+        before the journal handle is released.
         """
         self.scheduler.shutdown()
+        if self.durability is not None:
+            self.durability.commit()
+            self.durability.close()
+
+    def _journal_commit(self) -> None:
+        """Make journaled writes durable (no-op without checkpointing)."""
+        if self.durability is not None:
+            self.durability.commit()
 
     def __enter__(self) -> "ExplorationSession":
         return self
@@ -197,15 +256,22 @@ class ExplorationSession:
         and feature extraction but have no ground-truth activities.
         """
         record = self.storage.videos.add(path, duration, start_time, fps)
+        self._journal_commit()
         return record.vid
 
     def add_label(self, vid: int, start: float, end: float, label: str) -> None:
-        """Store one user label (the paper's ``AddLabel``)."""
+        """Store one user label (the paper's ``AddLabel``).
+
+        With checkpointing on, the label is durable (journaled + fsynced)
+        when this call returns.
+        """
         self.storage.labels.add(Label(vid=vid, start=start, end=end, label=label))
+        self._journal_commit()
 
     def add_labels(self, labels: Sequence[Label]) -> None:
-        """Store several labels at once."""
+        """Store several labels at once (one journal commit for the batch)."""
         self.storage.labels.add_many(labels)
+        self._journal_commit()
 
     def watch(self, vid: int, start: float, end: float) -> list[VideoSegment]:
         """Return consecutive clips of the requested window with predictions."""
@@ -363,6 +429,10 @@ class ExplorationSession:
         ]
 
         self._iteration_open = True
+        # Feature records staged by this call are deterministic derived data
+        # (extractors are pure functions of clip and seed), so they ride
+        # along with the next user-data commit instead of paying an fsync
+        # here; a crash before then merely re-derives them on resume.
         visible = self.scheduler.current_iteration.visible_latency
         return ExploreResult(
             iteration=self._iteration,
@@ -420,7 +490,134 @@ class ExplorationSession:
         # Freeze the record: user-facing calls between iterations (watch,
         # search) must not mutate latency figures already reported here.
         self.scheduler.close_iteration()
+        if self.durability is not None:
+            # Boundary marker: lets recovery report which iterations the
+            # journal tail spans, without carrying state (checkpoints do).
+            # Trained models and the marker are derived data (retrainable
+            # from durable labels), so they stay staged until the next
+            # user-data commit or checkpoint instead of paying an fsync per
+            # iteration — labels got their own commit in add_label(s).
+            self.durability.journal_record(
+                {"type": "iteration", "iteration": self._iteration}
+            )
+            every = self.config.scheduler.checkpoint_every
+            if every > 0 and self._iteration % every == 0:
+                self.checkpoint()
         return summary
+
+    # ------------------------------------------------------- durable checkpoints
+    def _require_durability(self) -> CheckpointManager:
+        if self.durability is None:
+            raise CheckpointError(
+                "durable checkpointing is not enabled; set "
+                "SchedulerConfig.checkpoint_dir (CLI: --checkpoint-dir)"
+            )
+        if self.scheduler.engine.name != "simulated":
+            raise CheckpointError(
+                "checkpoint/resume requires the deterministic simulated engine; "
+                f"this session runs {self.scheduler.engine.name!r}"
+            )
+        return self.durability
+
+    def checkpoint(self) -> int:
+        """Write an atomic snapshot generation and roll the journal.
+
+        Captures the full session state — stores, registered models,
+        warm-start caches, bandit, RNGs, scheduler clock/queue/records — so
+        :meth:`resume` continues bit-identically on the simulated engine.
+        Requires the current iteration to be finished.  Old generations are
+        garbage-collected.  Returns the published generation number.
+        """
+        durability = self._require_durability()
+        extras = self.extra_state_provider() if self.extra_state_provider is not None else None
+        return durability.write_generation(
+            lambda tmpdir: _checkpoint.write_snapshot_files(self, tmpdir, extras)
+        )
+
+    def resume(self) -> RecoveryReport:
+        """Restore this freshly built session from its checkpoint directory.
+
+        Recovery protocol: load the newest snapshot whose manifest checksums
+        validate, restore the session to it in place, then read (and repair
+        the torn tail of) that generation's journal.  Tail writes — durable
+        store writes from iterations after the checkpoint — are reported,
+        not applied: the resumed run re-executes those iterations and, being
+        deterministic, reproduces them exactly.
+
+        When no checkpoint exists yet the session is left in its freshly
+        built state (iteration 0) and the journal tail still reports every
+        durable write, so nothing acknowledged is ever silently lost.
+        """
+        durability = self._require_durability()
+        recovered = durability.recover()
+        if recovered.snapshot_dir is not None:
+            self.storage.detach_journal()
+            try:
+                extra_state = _checkpoint.restore_snapshot_files(self, recovered.snapshot_dir)
+            finally:
+                self.storage.attach_journal(durability.journal_record)
+        else:
+            extra_state = None
+        tail_labels = [
+            Label(
+                vid=int(record["vid"]),
+                start=float(record["start"]),
+                end=float(record["end"]),
+                label=str(record["label"]),
+            )
+            for record in recovered.tail_records
+            if record.get("type") == "label"
+        ]
+        tail_iterations = [
+            int(record["iteration"])
+            for record in recovered.tail_records
+            if record.get("type") == "iteration"
+        ]
+        return RecoveryReport(
+            generation=recovered.generation,
+            resumed_iteration=self._iteration,
+            tail_records=recovered.tail_records,
+            tail_labels=tail_labels,
+            tail_iterations=tail_iterations,
+            truncated_bytes=recovered.truncated_bytes,
+            rejected_generations=recovered.rejected_generations,
+            extra_state=extra_state,
+        )
+
+    def _resubmit_task(self, spec: dict) -> None:
+        """Re-materialise one checkpointed background task into the queue.
+
+        Tasks are recreated in the checkpoint's queue order, so the fresh
+        monotonically assigned task ids preserve the original (priority, id)
+        dispatch order.
+        """
+        action_spec = spec.get("action_spec")
+        action = self._rebuild_action(action_spec) if action_spec is not None else None
+        task = Task(
+            kind=spec["kind"],
+            duration=float(spec["duration"]),
+            action=action,
+            action_spec=action_spec,
+            priority=int(spec["priority"]),
+            description=spec.get("description", ""),
+            available_at=float(spec["available_at"]),
+        )
+        task.remaining = float(spec["remaining"])
+        self.scheduler.submit(task)
+
+    def _rebuild_action(self, spec: dict):
+        """Closure for one checkpointed action spec (see the submit sites)."""
+        op = spec.get("op")
+        if op == "train":
+            limit = spec.get("label_limit")
+            return lambda at, f=spec["feature"], l=limit: self.models.train_if_possible(
+                f, at_time=at, label_limit=l
+            )
+        if op == "evaluate":
+            return lambda at, n=spec["feature"]: self._record_feature_score(n)
+        if op == "eager":
+            return self._eager_action(spec["feature"], tuple(spec["vids"]))
+        raise CheckpointError(f"unknown checkpointed action op {op!r}")
 
     # ------------------------------------------------------------ cost charging
     def _charge_foreground_extraction(self, feature: str, clips: Sequence[ClipSpec]) -> None:
@@ -529,6 +726,7 @@ class ExplorationSession:
                 action=lambda at, f=feature, limit=label_limit: self.models.train_if_possible(
                     f, at_time=at, label_limit=limit
                 ),
+                action_spec={"op": "train", "feature": feature, "label_limit": label_limit},
                 description=f"JIT train {feature} on {labels_before} labels",
             ),
             available_at=self.clock.now + offset,
@@ -548,6 +746,7 @@ class ExplorationSession:
                     kind=TaskKind.FEATURE_EVALUATION,
                     duration=self.cost_model.evaluation_time(num_labels),
                     action=lambda at, n=name: self._record_feature_score(n),
+                    action_spec={"op": "evaluate", "feature": name},
                     description=f"evaluate feature {name}",
                 )
             )
@@ -630,15 +829,20 @@ class ExplorationSession:
         duration = self.cost_model.extraction_batch_time(
             spec, len(batch), self._mean_video_duration()
         )
-
-        def action(at_time: float, feature=feature_for_batch, vids=tuple(batch)) -> None:
-            self.features.ensure_video_features(feature, list(vids))
-            with self._eager_lock:
-                self._eager_inflight[feature].difference_update(vids)
-
         return Task(
             kind=TaskKind.EAGER_FEATURE_EXTRACTION,
             duration=duration,
-            action=action,
+            action=self._eager_action(feature_for_batch, tuple(batch)),
+            action_spec={"op": "eager", "feature": feature_for_batch, "vids": list(batch)},
             description=f"eager extract {len(batch)} videos with {feature_for_batch}",
         )
+
+    def _eager_action(self, feature: str, vids: tuple[int, ...]):
+        """Completion action of one eager-extraction task (also rebuilt on resume)."""
+
+        def action(at_time: float) -> None:
+            self.features.ensure_video_features(feature, list(vids))
+            with self._eager_lock:
+                self._eager_inflight.setdefault(feature, set()).difference_update(vids)
+
+        return action

@@ -28,6 +28,10 @@ class DuplicateKeyError(StorageError):
     """Raised when inserting a row whose primary key already exists."""
 
 
+class CheckpointError(StorageError):
+    """Raised by the durable checkpoint/restore subsystem."""
+
+
 class VideoError(ReproError):
     """Raised by the synthetic video substrate."""
 

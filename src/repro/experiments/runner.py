@@ -68,6 +68,13 @@ class RunnerConfig:
     num_workers: int = 4
     #: Wall seconds per cost-model second on the "threads" engine.
     time_scale: float = 1.0
+    #: Durable-checkpoint directory (None disables journaling/snapshots).
+    checkpoint_dir: str | None = None
+    #: Automatic snapshot every N finished steps (0 = never).
+    checkpoint_every: int = 0
+    #: Resume from ``checkpoint_dir`` before running (continues an
+    #: interrupted run from its last durable checkpoint).
+    resume: bool = False
     seed: int = 0
 
 
@@ -132,6 +139,22 @@ class SessionRunner:
         self.evaluator = ModelEvaluator(dataset, seed=self.config.seed)
         self.vocal = self._build_vocal()
         self.oracle = self._build_oracle()
+        #: Recovery report when this runner resumed an interrupted run.
+        self.recovery = None
+        if self.config.checkpoint_dir is not None:
+            # Checkpoint the oracle's RNG alongside the session so a noisy
+            # oracle resumes mid-stream instead of replaying its corruption.
+            self.vocal.session.extra_state_provider = self._oracle_extra_state
+            if self.config.resume:
+                self.recovery = self.vocal.resume()
+                extras = self.recovery.extra_state
+                if isinstance(self.oracle, NoisyOracleUser) and extras and "oracle_rng" in extras:
+                    self.oracle._rng.bit_generator.state = extras["oracle_rng"]
+
+    def _oracle_extra_state(self) -> dict:
+        if isinstance(self.oracle, NoisyOracleUser):
+            return {"oracle_rng": self.oracle._rng.bit_generator.state}
+        return {}
 
     def close(self) -> None:
         """Release the session's execution engine (worker threads, if any)."""
@@ -152,6 +175,8 @@ class SessionRunner:
                 engine=cfg.engine,
                 num_workers=cfg.num_workers,
                 time_scale=cfg.time_scale,
+                checkpoint_dir=cfg.checkpoint_dir,
+                checkpoint_every=cfg.checkpoint_every,
             ),
             model=ModelConfig(warm_start=cfg.warm_start),
             seed=cfg.seed,
@@ -217,7 +242,9 @@ class SessionRunner:
             result.preprocessing_latency = self._preprocess_all()
 
         session = self.vocal.session
-        for step in range(1, steps + 1):
+        # A resumed run continues from its last durable checkpoint; steps
+        # already completed there are not re-recorded.
+        for step in range(session.iteration + 1, steps + 1):
             explore_result = self.vocal.explore(cfg.batch_size, cfg.clip_duration)
             labels = self.oracle.label_clips([seg.clip for seg in explore_result.segments])
             session.add_labels(labels)

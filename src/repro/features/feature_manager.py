@@ -175,7 +175,18 @@ class FeatureManager:
             return 0
         with self._lock:
             features = self._pipeline.run(extractor, clips)
-            return self.store.add_many(features)
+            if not features:
+                return 0
+            # One columnar batch insert per extraction call: a single store
+            # write (and, with durability on, a single journal record)
+            # instead of one per window.
+            return self.store.add_batch(
+                features[0].fid,
+                np.fromiter((f.vid for f in features), dtype=np.int64, count=len(features)),
+                np.fromiter((f.start for f in features), dtype=np.float64, count=len(features)),
+                np.fromiter((f.end for f in features), dtype=np.float64, count=len(features)),
+                np.stack([f.vector for f in features]),
+            )
 
     # ------------------------------------------------------------------ access
     # Reads also take the manager lock: with the thread-pool engine, eager

@@ -85,6 +85,12 @@ class Task:
     #: corresponding to ``slice_units`` cost-model seconds.  ``None`` means
     #: the engine models the cost as a blocking (GPU/IO-style) stall.
     payload: Callable[[float], None] | None = None
+    #: Declarative description of ``action`` for durable checkpoints: a
+    #: JSON-serialisable dict from which the session can re-materialise the
+    #: closure after a resume (``repro.core.checkpoint``).  Tasks queued in
+    #: the background must carry one whenever they carry an action; purely
+    #: foreground tasks never need it.
+    action_spec: dict | None = None
     priority: int | None = None
     description: str = ""
     available_at: float = 0.0

@@ -7,9 +7,13 @@ Public entry points:
   :class:`ModelRegistry` — the concrete stores.
 * :class:`Table`, :class:`Column`, :func:`col`, :func:`lit` — the embedded
   column store and its predicate-expression DSL.
+* :class:`~repro.storage.durability.CheckpointManager` and friends — the
+  durable checkpoint/restore subsystem (write-ahead journal, atomic
+  generation snapshots, crash recovery).
 """
 
 from .column import Column, ColumnType
+from .durability import CheckpointManager, replay_records
 from .expressions import Expression, col, lit
 from .feature_store import FeatureStore
 from .label_store import LabelStore
@@ -35,4 +39,6 @@ __all__ = [
     "FeatureStore",
     "ModelRegistry",
     "StorageManager",
+    "CheckpointManager",
+    "replay_records",
 ]

@@ -1,0 +1,41 @@
+"""Bit-exact JSON encoding for numpy arrays.
+
+Journal records and session-state documents are JSON; feature vectors and
+model parameters must round-trip *bit-exactly* (resume promises bit-identical
+continuation).  Arrays are therefore encoded as base64 of their raw
+little-endian buffer plus dtype/shape, not as decimal literals.
+"""
+
+from __future__ import annotations
+
+import base64
+
+import numpy as np
+
+from ...exceptions import StorageError
+
+__all__ = ["encode_array", "decode_array"]
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """Encode an array as ``{"dtype", "shape", "b64"}`` (bit-exact)."""
+    array = np.ascontiguousarray(array)
+    if array.dtype.hasobject:
+        raise StorageError(f"cannot journal object-dtype array ({array.dtype})")
+    little = array.astype(array.dtype.newbyteorder("<"), copy=False)
+    return {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "b64": base64.b64encode(little.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(doc: dict) -> np.ndarray:
+    """Decode an array produced by :func:`encode_array`."""
+    try:
+        dtype = np.dtype(doc["dtype"]).newbyteorder("<")
+        raw = base64.b64decode(doc["b64"], validate=True)
+        array = np.frombuffer(raw, dtype=dtype).reshape(doc["shape"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise StorageError(f"malformed array record: {exc}") from exc
+    return array.astype(np.dtype(doc["dtype"]), copy=True)

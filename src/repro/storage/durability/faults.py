@@ -1,0 +1,80 @@
+"""Named fault points for crash-injection testing.
+
+Every durable-write primitive in :mod:`repro.storage.durability.atomic`
+crosses a *fault point* — a named write/fsync/rename boundary — before
+performing the corresponding system call.  In production the points are
+free no-ops.  Under test, an armed :class:`FaultInjector` either records
+the points it crosses (to enumerate the injection matrix) or raises
+:class:`InjectedCrash` at a chosen crossing, simulating the process dying
+exactly between two system calls.
+
+:class:`InjectedCrash` deliberately derives from :class:`BaseException`
+so no ``except Exception`` recovery path inside the library can swallow a
+simulated crash — just like a real ``kill -9`` cannot be caught.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["InjectedCrash", "FaultInjector", "fault_point", "inject_faults"]
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death at a named write/fsync/rename boundary."""
+
+    def __init__(self, point: str, index: int) -> None:
+        super().__init__(f"injected crash at fault point #{index}: {point}")
+        self.point = point
+        self.index = index
+
+
+class FaultInjector:
+    """Counts fault-point crossings and optionally crashes at one of them.
+
+    Args:
+        crash_at: Crossing index (0-based) at which to raise
+            :class:`InjectedCrash`; ``None`` records crossings only.
+
+    Attributes:
+        crossed: Every fault-point name crossed so far, in order — the
+            crash-injection matrix for an exhaustive harness run.
+    """
+
+    def __init__(self, crash_at: int | None = None) -> None:
+        self.crash_at = crash_at
+        self.crossed: list[str] = []
+        self._lock = threading.Lock()
+
+    def on_point(self, name: str) -> None:
+        """Record one crossing; crash if it is the armed one."""
+        with self._lock:
+            index = len(self.crossed)
+            self.crossed.append(name)
+        if self.crash_at is not None and index == self.crash_at:
+            raise InjectedCrash(name, index)
+
+
+#: The process-wide injector; None outside crash-injection tests.
+_active: FaultInjector | None = None
+
+
+def fault_point(name: str) -> None:
+    """Cross the named fault point (no-op unless an injector is armed)."""
+    injector = _active
+    if injector is not None:
+        injector.on_point(name)
+
+
+@contextmanager
+def inject_faults(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Arm ``injector`` for the duration of the ``with`` block."""
+    global _active
+    previous = _active
+    _active = injector
+    try:
+        yield injector
+    finally:
+        _active = previous

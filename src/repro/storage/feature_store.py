@@ -30,14 +30,16 @@ preserved across a save/load roundtrip via the manifest.
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..exceptions import MissingFeatureError
+from ..exceptions import MissingFeatureError, StorageError
 from ..index import VectorIndex, build_index
 from ..types import ClipSpec, FeatureVector
+from .durability.codec import encode_array
 
 __all__ = ["FeatureStore"]
 
@@ -398,6 +400,30 @@ class FeatureStore:
         #: index specs attached before the extractor has any shard; applied
         #: when the shard is created so attach never fabricates extractors()
         self._pending_index: dict[str, tuple[str, dict]] = {}
+        #: Optional write-ahead sink (``repro.storage.durability``): fresh
+        #: rows and index attach/sync events are journaled, keyed by the
+        #: shard's post-write epoch.
+        self.journal_sink = None
+
+    def _journal_rows(
+        self,
+        fid: str,
+        vids: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        vectors: np.ndarray,
+    ) -> None:
+        self.journal_sink(
+            {
+                "type": "features",
+                "fid": fid,
+                "epoch": self._shards[fid].epoch,
+                "vids": encode_array(np.asarray(vids, dtype=np.int64)),
+                "starts": encode_array(np.asarray(starts, dtype=np.float64)),
+                "ends": encode_array(np.asarray(ends, dtype=np.float64)),
+                "vectors": encode_array(np.asarray(vectors, dtype=np.float64)),
+            }
+        )
 
     def _get_or_create_shard(self, fid: str) -> _ExtractorShard:
         shard = self._shards.get(fid)
@@ -411,7 +437,17 @@ class FeatureStore:
     # ------------------------------------------------------------------ writes
     def add(self, feature: FeatureVector) -> bool:
         """Store one feature vector; returns False when it was already stored."""
-        return self._get_or_create_shard(feature.fid).add(feature.clip, feature.vector)
+        fresh = self._get_or_create_shard(feature.fid).add(feature.clip, feature.vector)
+        if fresh and self.journal_sink is not None:
+            clip = feature.clip
+            self._journal_rows(
+                feature.fid,
+                np.array([clip.vid], dtype=np.int64),
+                np.array([clip.start], dtype=np.float64),
+                np.array([clip.end], dtype=np.float64),
+                np.asarray(feature.vector, dtype=np.float64)[None, :],
+            )
+        return fresh
 
     def add_many(self, features: Iterable[FeatureVector]) -> int:
         """Store several feature vectors; returns how many were new."""
@@ -431,7 +467,10 @@ class FeatureStore:
         clip columns.  Exact duplicates (already stored or repeated within the
         batch) are skipped, matching :meth:`add`.
         """
-        return self._get_or_create_shard(fid).add_batch(vids, starts, ends, vectors)
+        fresh = self._get_or_create_shard(fid).add_batch(vids, starts, ends, vectors)
+        if fresh and self.journal_sink is not None:
+            self._journal_rows(fid, vids, starts, ends, vectors)
+        return fresh
 
     # ------------------------------------------------------------------- reads
     def extractors(self) -> list[str]:
@@ -454,6 +493,22 @@ class FeatureStore:
         """
         shard = self._shards.get(fid)
         return shard.epoch if shard is not None else 0
+
+    def restore_epoch(self, fid: str, epoch: int) -> None:
+        """Force ``fid``'s write counter to a recovered value.
+
+        Checkpoint recovery rebuilds shards through bulk adoption/replay,
+        which ticks the epoch differently than the original write sequence;
+        restoring the journaled value keeps epoch-keyed caches (design
+        matrices, acquisition contexts) bit-compatible after a resume.
+
+        Raises:
+            StorageError: when no shard exists for ``fid``.
+        """
+        shard = self._shards.get(fid)
+        if shard is None:
+            raise StorageError(f"cannot restore epoch for unknown extractor {fid!r}")
+        shard.epoch = int(epoch)
 
     def dim(self, fid: str) -> int | None:
         """Vector dimensionality for ``fid``, or None while unknown."""
@@ -636,9 +691,15 @@ class FeatureStore:
         """
         shard = self._shards.get(fid)
         if shard is not None:
+            changed = shard._vindex_spec != (backend, dict(params))
             shard.attach_index(backend, **params)
         else:
+            changed = self._pending_index.get(fid) != (backend, dict(params))
             self._pending_index[fid] = (backend, dict(params))
+        if changed and self.journal_sink is not None:
+            self.journal_sink(
+                {"type": "index_attach", "fid": fid, "backend": backend, "params": dict(params)}
+            )
 
     def index_backend(self, fid: str) -> str:
         """Backend name ``fid``'s next search will use ("exact" by default)."""
@@ -659,7 +720,20 @@ class FeatureStore:
         Raises:
             MissingFeatureError: when the extractor is unknown or empty.
         """
-        return self._shard(fid).search(queries, k)
+        shard = self._shard(fid)
+        rows_before = shard._vindex_rows
+        result = shard.search(queries, k)
+        if self.journal_sink is not None and shard._vindex_rows != rows_before:
+            # Write-sync event: the lazily built index folded appended rows in.
+            self.journal_sink(
+                {
+                    "type": "index_sync",
+                    "fid": fid,
+                    "backend": shard.index_backend,
+                    "rows": shard._vindex_rows,
+                }
+            )
+        return result
 
     def clips_at(self, fid: str, rows: Iterable[int]) -> list[ClipSpec | None]:
         """Clips stored at ``rows`` for ``fid``; ``None`` for -1 (search padding)."""
@@ -705,13 +779,21 @@ class FeatureStore:
         Every extractor listed in the manifest is restored — including empty
         shards, whose ``.npz`` payload was never written — and non-empty
         payloads are adopted column-wise without row-by-row re-insertion.
+
+        Raises:
+            StorageError: when the manifest is unparsable, a payload archive
+                is truncated/corrupt, a column is missing from a payload, or
+                the columns of one extractor disagree on row count.
         """
         directory = Path(directory)
         manifest_path = directory / "features.manifest.json"
         store = cls()
         if not manifest_path.exists():
             return store
-        manifest = json.loads(manifest_path.read_text())
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StorageError(f"feature manifest {manifest_path} is unreadable: {exc}") from exc
         dims = manifest.get("dims", {})
         for fid in manifest.get("extractors", []):
             dim = dims.get(fid)
@@ -720,8 +802,69 @@ class FeatureStore:
             payload_path = directory / f"features_{fid}.npz"
             if not payload_path.exists():
                 continue
-            with np.load(payload_path, allow_pickle=False) as payload:
-                shard.adopt_columns(
-                    payload["vids"], payload["starts"], payload["ends"], payload["vectors"]
+            try:
+                with np.load(payload_path, allow_pickle=False) as payload:
+                    missing = [
+                        name
+                        for name in ("vids", "starts", "ends", "vectors")
+                        if name not in payload.files
+                    ]
+                    if missing:
+                        raise StorageError(
+                            f"feature payload {payload_path} is missing columns {missing}"
+                        )
+                    columns = (
+                        payload["vids"], payload["starts"], payload["ends"], payload["vectors"]
+                    )
+            except (OSError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+                raise StorageError(
+                    f"feature payload {payload_path} is truncated or corrupt: {exc}"
+                ) from exc
+            rows = {len(column) for column in columns}
+            if len(rows) != 1:
+                raise StorageError(
+                    f"feature payload {payload_path} columns disagree on row count: "
+                    f"{sorted(rows)}"
                 )
+            shard.adopt_columns(*columns)
         return store
+
+    def restore_columns(
+        self,
+        shards: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None],
+        dims: dict[str, int],
+        epochs: dict[str, int] | None = None,
+        index_specs: dict[str, tuple[str, dict]] | None = None,
+    ) -> None:
+        """Replace this store's contents in place from recovered columns.
+
+        ``shards`` maps each extractor to its ``(vids, starts, ends,
+        vectors)`` columns, or None for an empty shard; ``dims`` carries the
+        dimensionality of empty shards.  Used by snapshot recovery, which
+        bundles every shard's columns into one archive.
+        """
+        self._shards = {}
+        for fid, columns in shards.items():
+            dim = dims.get(fid)
+            shard = _ExtractorShard(fid, dim=None if dim in (None, -1) else int(dim))
+            self._shards[fid] = shard
+            if columns is not None:
+                shard.adopt_columns(*columns)
+        self._apply_restored_meta(epochs, index_specs)
+
+    def _apply_restored_meta(
+        self,
+        epochs: dict[str, int] | None,
+        index_specs: dict[str, tuple[str, dict]] | None,
+    ) -> None:
+        self._pending_index = {}
+        if index_specs:
+            for fid, (backend, params) in index_specs.items():
+                shard = self._shards.get(fid)
+                if shard is not None:
+                    shard.attach_index(backend, **params)
+                else:
+                    self._pending_index[fid] = (backend, dict(params))
+        if epochs:
+            for fid, epoch in epochs.items():
+                self.restore_epoch(fid, epoch)

@@ -37,6 +37,9 @@ class LabelStore:
         self._table = Table(self.TABLE_NAME, _SCHEMA, primary_key="label_id")
         self._next_id = 0
         self._revision = 0
+        #: Optional write-ahead sink (``repro.storage.durability``): every
+        #: stored label is journaled, keyed by the post-write revision.
+        self.journal_sink = None
 
     def __len__(self) -> int:
         return len(self._table)
@@ -66,6 +69,18 @@ class LabelStore:
         )
         self._next_id += 1
         self._revision += 1
+        if self.journal_sink is not None:
+            self.journal_sink(
+                {
+                    "type": "label",
+                    "label_id": label_id,
+                    "vid": label.vid,
+                    "start": label.start,
+                    "end": label.end,
+                    "label": label.label,
+                    "revision": self._revision,
+                }
+            )
         return label_id
 
     def add_many(self, labels: Iterable[Label]) -> list[int]:
@@ -155,8 +170,21 @@ class LabelStore:
     def load(cls, directory: str | Path) -> "LabelStore":
         """Restore a store previously written by :meth:`save`."""
         store = cls()
-        store._table = load_table(cls.TABLE_NAME, directory)
-        ids = store._table.column("label_id")
-        store._next_id = int(max(ids)) + 1 if len(ids) else 0
-        store._revision = len(store._table)
+        store.restore_from(directory)
         return store
+
+    def restore_from(self, directory: str | Path) -> None:
+        """Replace this store's contents in place from a saved table.
+
+        Used by checkpoint recovery, which must refill the *existing* store
+        object (managers hold references to it) rather than swap in a new
+        one.  The journal sink is left untouched and not invoked.
+        """
+        self.restore_table(load_table(self.TABLE_NAME, directory))
+
+    def restore_table(self, table: Table) -> None:
+        """Adopt a rebuilt label table in place (checkpoint recovery)."""
+        self._table = table
+        ids = self._table.column("label_id")
+        self._next_id = int(max(ids)) + 1 if len(ids) else 0
+        self._revision = len(self._table)

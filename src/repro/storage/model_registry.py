@@ -12,11 +12,40 @@ import threading
 from pathlib import Path
 from typing import Any
 
-from ..exceptions import ModelError
+from ..exceptions import ModelError, StorageError
 from ..types import TrainedModelInfo
+from .durability.codec import encode_array
 from .persistence import save_array
 
 __all__ = ["ModelRegistry"]
+
+
+def model_document(model, encode_params=None) -> dict | None:
+    """JSON-serialisable document reconstructing a trained model, or None.
+
+    Only parametric models are representable; currently the softmax linear
+    probe (``SoftmaxRegression``), which covers everything the session
+    trains.  ``repro.storage.durability.replay.rebuild_model`` is the
+    inverse.  This is the single place the document's field list lives —
+    journal records and snapshot state both build through it, differing only
+    in ``encode_params`` (inline base64 by default; snapshots stage the
+    array in their binary bundle and encode a reference).
+    """
+    # Local import: repro.models imports the storage package at module load.
+    from ..models.linear import SoftmaxRegression
+
+    if isinstance(model, SoftmaxRegression) and model.is_fitted:
+        encode = encode_params if encode_params is not None else encode_array
+        return {
+            "kind": "softmax",
+            "classes": list(model.classes),
+            "dim": int(model._feature_mean.shape[0]),
+            "l2_regularization": model.l2_regularization,
+            "max_iterations": model.max_iterations,
+            "tolerance": model.tolerance,
+            "params": encode(model.get_parameters()),
+        }
+    return None
 
 
 class ModelRegistry:
@@ -31,6 +60,10 @@ class ModelRegistry:
         # Training actions can complete concurrently on the thread-pool
         # execution engine's workers; id allocation must stay atomic.
         self._lock = threading.Lock()
+        #: Optional write-ahead sink (``repro.storage.durability``): every
+        #: registration is journaled with the model's parameters, keyed by
+        #: its per-feature version.
+        self.journal_sink = None
 
     def __len__(self) -> int:
         return len(self._models)
@@ -61,7 +94,51 @@ class ModelRegistry:
             self._models[model_id] = model
             self._info[model_id] = info
             self._latest_by_feature[feature_name] = model_id
+            if self.journal_sink is not None:
+                document = model_document(model)
+                if document is None:
+                    raise StorageError(
+                        f"model registered for {feature_name!r} is not journalable "
+                        f"({type(model).__name__}); durable checkpointing supports "
+                        "parametric models exposing get_parameters()"
+                    )
+                self.journal_sink(
+                    {
+                        "type": "model",
+                        "model_id": model_id,
+                        "feature": feature_name,
+                        "version": version,
+                        "classes": list(classes),
+                        "num_labels": num_labels,
+                        "created_at": created_at,
+                        "model": document,
+                    }
+                )
             return info
+
+    def restore_entry(self, info: TrainedModelInfo, model: Any) -> None:
+        """Re-insert a recovered registration under its original id/version.
+
+        Used by checkpoint recovery and journal replay; never journals.
+
+        Raises:
+            StorageError: when the id or version would move the registry
+                backwards (recovery must replay in registration order).
+        """
+        with self._lock:
+            if info.model_id in self._models:
+                raise StorageError(f"model id {info.model_id} is already registered")
+            known = self._versions_by_feature.get(info.feature_name, 0)
+            if info.version <= known:
+                raise StorageError(
+                    f"cannot restore {info.feature_name!r} v{info.version}: "
+                    f"registry already at v{known}"
+                )
+            self._models[info.model_id] = model
+            self._info[info.model_id] = info
+            self._latest_by_feature[info.feature_name] = info.model_id
+            self._versions_by_feature[info.feature_name] = info.version
+            self._next_id = max(self._next_id, info.model_id + 1)
 
     # ------------------------------------------------------------------- reads
     def latest(self, feature_name: str) -> tuple[Any, TrainedModelInfo] | None:

@@ -3,23 +3,42 @@
 Tables are written as a JSON schema file plus one ``.npy``-style payload per
 column inside a single ``.npz`` archive, mirroring the paper's split between a
 metadata database (DuckDB) and columnar feature files (Parquet).
+
+All writes are **atomic**: each file is produced in a temporary sibling,
+fsynced, and renamed over the destination (see
+:mod:`repro.storage.durability.atomic`).  The schema document is additionally
+embedded *inside* the ``.npz`` payload (key ``__schema__``), making the
+payload rename the single commit point: a crash at any boundary leaves either
+the previous table fully intact or the new one fully in place, never a
+schema/payload mix.  The sidecar ``.schema.json`` is a derived, human-readable
+copy; loads prefer the embedded schema and fall back to the sidecar for
+archives written before it existed.
+
+All load paths convert low-level failures (missing files, truncated archives,
+missing columns, row-count mismatches) into :class:`~repro.exceptions.StorageError`.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import zipfile
 from pathlib import Path
 from typing import Mapping
 
 import numpy as np
 
 from ..exceptions import StorageError
+from .durability.atomic import atomic_write_bytes, atomic_write_text
 from .table import Table
 
 __all__ = ["save_table", "load_table", "save_array", "load_array"]
 
 _SCHEMA_SUFFIX = ".schema.json"
 _DATA_SUFFIX = ".columns.npz"
+#: Payload member carrying the schema JSON (UTF-8 bytes as a uint8 array);
+#: its presence makes the payload self-describing and the save atomic.
+_EMBEDDED_SCHEMA_KEY = "__schema__"
 
 
 def _paths(directory: Path, table_name: str) -> tuple[Path, Path]:
@@ -29,8 +48,21 @@ def _paths(directory: Path, table_name: str) -> tuple[Path, Path]:
     )
 
 
+def _npz_bytes(arrays: Mapping[str, np.ndarray]) -> bytes:
+    """Serialise arrays to an in-memory ``.npz`` so the disk write is atomic."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
 def save_table(table: Table, directory: str | Path) -> None:
-    """Persist ``table`` under ``directory`` (created if missing)."""
+    """Persist ``table`` under ``directory`` (created if missing).
+
+    Both files are written atomically (temp + fsync + rename) and the schema
+    rides inside the payload, so the payload rename is the single commit
+    point: a failed or crashed save leaves any previously saved version of
+    the table fully readable.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     schema_path, data_path = _paths(directory, table.name)
@@ -41,34 +73,74 @@ def save_table(table: Table, directory: str | Path) -> None:
         "schema": table.schema,
         "row_count": len(table),
     }
-    schema_path.write_text(json.dumps(schema_doc, indent=2))
-
-    arrays: dict[str, np.ndarray] = {}
+    schema_json = json.dumps(schema_doc, indent=2)
+    arrays: dict[str, np.ndarray] = {
+        _EMBEDDED_SCHEMA_KEY: np.frombuffer(schema_json.encode("utf-8"), dtype=np.uint8)
+    }
     for name, type_name in table.schema.items():
         values = table.column(name)
         if type_name == "str":
             arrays[name] = np.asarray([str(v) for v in values], dtype=np.str_)
         else:
             arrays[name] = np.asarray(values)
-    np.savez(data_path, **arrays)
+    atomic_write_bytes(data_path, _npz_bytes(arrays), label=f"table:{table.name}:data")
+    atomic_write_text(schema_path, schema_json, label=f"table:{table.name}:schema")
 
 
 def load_table(table_name: str, directory: str | Path) -> Table:
-    """Load a table previously written by :func:`save_table`."""
+    """Load a table previously written by :func:`save_table`.
+
+    Raises:
+        StorageError: when either file is missing, the schema is unparsable,
+            the payload is truncated/corrupt, a column is missing from the
+            payload, or a column's length does not match the schema's row
+            count.
+    """
     directory = Path(directory)
     schema_path, data_path = _paths(directory, table_name)
-    if not schema_path.exists() or not data_path.exists():
+    if not data_path.exists():
         raise StorageError(f"table {table_name!r} not found under {directory}")
 
-    schema_doc = json.loads(schema_path.read_text())
+    try:
+        with np.load(data_path, allow_pickle=False) as payload:
+            if _EMBEDDED_SCHEMA_KEY in payload.files:
+                schema_json = bytes(payload[_EMBEDDED_SCHEMA_KEY]).decode("utf-8")
+            elif schema_path.exists():
+                # Legacy archive written before the schema was embedded.
+                schema_json = schema_path.read_text()
+            else:
+                raise StorageError(f"table {table_name!r} not found under {directory}")
+            try:
+                schema_doc = json.loads(schema_json)
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise StorageError(
+                    f"table {table_name!r} has an unreadable schema: {exc}"
+                ) from exc
+            for field in ("name", "schema", "row_count"):
+                if field not in schema_doc:
+                    raise StorageError(f"table {table_name!r} schema is missing {field!r}")
+            missing = [name for name in schema_doc["schema"] if name not in payload.files]
+            if missing:
+                raise StorageError(
+                    f"table {table_name!r} payload is missing columns {missing}"
+                )
+            columns = {name: payload[name] for name in schema_doc["schema"]}
+    except (OSError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+        raise StorageError(
+            f"table {table_name!r} payload {data_path} is truncated or corrupt: {exc}"
+        ) from exc
     table = Table(
         schema_doc["name"],
         schema_doc["schema"],
         primary_key=schema_doc.get("primary_key"),
     )
-    with np.load(data_path, allow_pickle=False) as payload:
-        columns = {name: payload[name] for name in schema_doc["schema"]}
-    row_count = schema_doc["row_count"]
+    row_count = int(schema_doc["row_count"])
+    for name, column in columns.items():
+        if len(column) != row_count:
+            raise StorageError(
+                f"table {table_name!r} column {name!r} has {len(column)} rows, "
+                f"schema says {row_count}"
+            )
     for index in range(row_count):
         row = {}
         for name, type_name in schema_doc["schema"].items():
@@ -86,18 +158,30 @@ def load_table(table_name: str, directory: str | Path) -> Table:
 
 
 def save_array(array: np.ndarray, path: str | Path, metadata: Mapping[str, object] | None = None) -> None:
-    """Persist a numpy array plus optional JSON metadata next to it."""
+    """Persist a numpy array plus optional JSON metadata next to it (atomically)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.save(path, array, allow_pickle=False)
+    buffer = io.BytesIO()
+    np.save(buffer, np.asarray(array), allow_pickle=False)
+    atomic_write_bytes(path, buffer.getvalue(), label=f"array:{path.name}")
     if metadata is not None:
         meta_path = path.with_suffix(path.suffix + ".meta.json")
-        meta_path.write_text(json.dumps(dict(metadata), indent=2))
+        atomic_write_text(
+            meta_path, json.dumps(dict(metadata), indent=2), label=f"array-meta:{path.name}"
+        )
 
 
 def load_array(path: str | Path) -> np.ndarray:
-    """Load an array written by :func:`save_array`."""
+    """Load an array written by :func:`save_array`.
+
+    Raises:
+        StorageError: when the file is missing, truncated, or not a valid
+            ``.npy`` payload.
+    """
     path = Path(path)
     if not path.exists():
         raise StorageError(f"array file {path} does not exist")
-    return np.load(path, allow_pickle=False)
+    try:
+        return np.load(path, allow_pickle=False)
+    except (OSError, ValueError, EOFError) as exc:
+        raise StorageError(f"array file {path} is truncated or corrupt: {exc}") from exc

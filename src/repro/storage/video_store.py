@@ -36,6 +36,9 @@ class VideoStore:
     def __init__(self) -> None:
         self._table = Table(self.TABLE_NAME, _SCHEMA, primary_key="vid")
         self._next_vid = 0
+        #: Optional write-ahead sink (``repro.storage.durability``): every
+        #: registered video is journaled under its assigned vid.
+        self.journal_sink = None
 
     def __len__(self) -> int:
         return len(self._table)
@@ -69,6 +72,17 @@ class VideoStore:
             }
         )
         self._next_vid += 1
+        if self.journal_sink is not None:
+            self.journal_sink(
+                {
+                    "type": "video",
+                    "vid": record.vid,
+                    "path": record.path,
+                    "duration": record.duration,
+                    "start_time": record.start_time,
+                    "fps": record.fps,
+                }
+            )
         return record
 
     def add_records(self, records: Iterable[VideoRecord]) -> list[VideoRecord]:
@@ -133,7 +147,19 @@ class VideoStore:
     def load(cls, directory: str | Path) -> "VideoStore":
         """Restore a store previously written by :meth:`save`."""
         store = cls()
-        store._table = load_table(cls.TABLE_NAME, directory)
-        vids = store._table.column("vid")
-        store._next_vid = int(np.max(vids)) + 1 if len(vids) else 0
+        store.restore_from(directory)
         return store
+
+    def restore_from(self, directory: str | Path) -> None:
+        """Replace this store's contents in place from a saved table.
+
+        Checkpoint recovery refills the existing store object (managers hold
+        references to it); the journal sink is left untouched and not invoked.
+        """
+        self.restore_table(load_table(self.TABLE_NAME, directory))
+
+    def restore_table(self, table: Table) -> None:
+        """Adopt a rebuilt video table in place (checkpoint recovery)."""
+        self._table = table
+        vids = self._table.column("vid")
+        self._next_vid = int(np.max(vids)) + 1 if len(vids) else 0

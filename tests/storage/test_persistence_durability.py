@@ -1,0 +1,185 @@
+"""Atomic-write and load-error-path tests for the legacy persistence layer.
+
+Covers two satellite items of the durability issue:
+
+* ``save_table``/``save_array`` route through the atomic
+  write-temp-then-rename helper, so a save that crashes at any
+  write/fsync/rename boundary leaves the previously persisted files intact;
+* every ``StorageManager.load`` error path (missing column file, schema /
+  row-count mismatch, truncated npz) raises :class:`StorageError` instead of
+  leaking raw numpy/``KeyError`` exceptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.durability.faults import FaultInjector, InjectedCrash, inject_faults
+from repro.storage.feature_store import FeatureStore
+from repro.storage.label_store import LabelStore
+from repro.storage.persistence import load_array, load_table, save_array, save_table
+from repro.storage.storage_manager import StorageManager
+from repro.storage.table import Table
+from repro.types import FeatureVector, Label
+
+
+def build_table(rows=2):
+    table = Table("videos", {"vid": "int", "duration": "float"}, primary_key="vid")
+    for vid in range(rows):
+        table.insert({"vid": vid, "duration": 10.0 + vid})
+    return table
+
+
+class TestAtomicSaveTable:
+    def test_crashed_save_leaves_previous_files_intact(self, tmp_path):
+        """Regression for the non-atomic in-place write: kill the save at
+        every write/fsync/rename boundary and reload the old table."""
+        save_table(build_table(rows=2), tmp_path)
+        expected = load_table("videos", tmp_path).to_records()
+        index = 0
+        crashes = 0
+        while True:
+            injector = FaultInjector(crash_at=index)
+            try:
+                with inject_faults(injector):
+                    save_table(build_table(rows=5), tmp_path)
+            except InjectedCrash:
+                crashes += 1
+                loaded = load_table("videos", tmp_path)  # must not be torn
+                assert len(loaded) in (2, 5)
+                if len(loaded) == 2:
+                    assert loaded.to_records() == expected
+                index += 1
+                continue
+            break
+        assert crashes >= 4  # data write/fsync/rename + schema write at least
+        assert len(load_table("videos", tmp_path)) == 5
+
+    def test_no_temp_litter_after_clean_save(self, tmp_path):
+        save_table(build_table(), tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_save_array_is_atomic(self, tmp_path):
+        path = tmp_path / "weights.npy"
+        save_array(np.arange(4.0), path)
+        injector = FaultInjector(crash_at=0)
+        with pytest.raises(InjectedCrash):
+            with inject_faults(injector):
+                save_array(np.arange(8.0), path)
+        assert np.array_equal(load_array(path), np.arange(4.0))
+
+
+class TestLoadTableErrorPaths:
+    def test_truncated_npz_raises_storage_error(self, tmp_path):
+        save_table(build_table(), tmp_path)
+        payload = tmp_path / "videos.columns.npz"
+        payload.write_bytes(payload.read_bytes()[:20])
+        with pytest.raises(StorageError, match="truncated or corrupt"):
+            load_table("videos", tmp_path)
+
+    def test_missing_column_raises_storage_error(self, tmp_path):
+        save_table(build_table(), tmp_path)
+        np.savez(tmp_path / "videos.columns.npz", vid=np.arange(2))  # drop "duration"
+        with pytest.raises(StorageError, match="missing columns"):
+            load_table("videos", tmp_path)
+
+    def test_row_count_mismatch_raises_storage_error(self, tmp_path):
+        save_table(build_table(rows=3), tmp_path)
+        np.savez(
+            tmp_path / "videos.columns.npz",
+            vid=np.arange(2),
+            duration=np.ones(2),
+        )
+        with pytest.raises(StorageError, match="rows, schema says 3"):
+            load_table("videos", tmp_path)
+
+    def test_unreadable_sidecar_schema_raises_storage_error(self, tmp_path):
+        # Legacy archive: no embedded schema, so the sidecar is authoritative.
+        np.savez(tmp_path / "videos.columns.npz", vid=np.arange(2), duration=np.ones(2))
+        (tmp_path / "videos.schema.json").write_text("{broken")
+        with pytest.raises(StorageError, match="unreadable schema"):
+            load_table("videos", tmp_path)
+
+    def test_schema_missing_fields_raises_storage_error(self, tmp_path):
+        np.savez(tmp_path / "videos.columns.npz", vid=np.arange(2), duration=np.ones(2))
+        (tmp_path / "videos.schema.json").write_text('{"name": "videos"}')
+        with pytest.raises(StorageError, match="missing"):
+            load_table("videos", tmp_path)
+
+    def test_legacy_sidecar_archive_still_loads(self, tmp_path):
+        """Archives written before the embedded schema must keep loading."""
+        save_table(build_table(rows=2), tmp_path)
+        payload = tmp_path / "videos.columns.npz"
+        with np.load(payload, allow_pickle=False) as archive:
+            arrays = {k: archive[k] for k in archive.files if k != "__schema__"}
+        np.savez(payload, **arrays)
+        loaded = load_table("videos", tmp_path)
+        assert len(loaded) == 2
+
+    def test_corrupt_array_raises_storage_error(self, tmp_path):
+        path = tmp_path / "weights.npy"
+        save_array(np.arange(4.0), path)
+        path.write_bytes(b"\x93NUMPY garbage")
+        with pytest.raises(StorageError, match="truncated or corrupt"):
+            load_array(path)
+
+
+def populated_workspace(tmp_path):
+    storage = StorageManager()
+    storage.videos.add("a.mp4", 10.0)
+    storage.videos.add("b.mp4", 8.0)
+    storage.labels.add(Label(vid=0, start=0.0, end=1.0, label="walk"))
+    storage.features.add(
+        FeatureVector(fid="r3d", vid=0, start=0.0, end=1.0, vector=np.ones(4))
+    )
+    storage.save(tmp_path)
+    return storage
+
+
+class TestStorageManagerLoadErrorPaths:
+    def test_missing_feature_column_file_is_storage_error(self, tmp_path):
+        populated_workspace(tmp_path)
+        np.savez(tmp_path / "features" / "features_r3d.npz", vids=np.zeros(1, dtype=np.int64))
+        with pytest.raises(StorageError, match="missing columns"):
+            StorageManager.load(tmp_path)
+
+    def test_truncated_feature_npz_is_storage_error(self, tmp_path):
+        populated_workspace(tmp_path)
+        payload = tmp_path / "features" / "features_r3d.npz"
+        payload.write_bytes(payload.read_bytes()[:16])
+        with pytest.raises(StorageError, match="truncated or corrupt"):
+            StorageManager.load(tmp_path)
+
+    def test_feature_row_count_mismatch_is_storage_error(self, tmp_path):
+        populated_workspace(tmp_path)
+        np.savez(
+            tmp_path / "features" / "features_r3d.npz",
+            vids=np.zeros(2, dtype=np.int64),
+            starts=np.zeros(1),
+            ends=np.ones(1),
+            vectors=np.ones((1, 4)),
+        )
+        with pytest.raises(StorageError, match="disagree on row count"):
+            StorageManager.load(tmp_path)
+
+    def test_unreadable_feature_manifest_is_storage_error(self, tmp_path):
+        populated_workspace(tmp_path)
+        (tmp_path / "features" / "features.manifest.json").write_text("{broken")
+        with pytest.raises(StorageError, match="unreadable"):
+            FeatureStore.load(tmp_path / "features")
+
+    def test_truncated_label_table_is_storage_error(self, tmp_path):
+        populated_workspace(tmp_path)
+        payload = tmp_path / "labels.columns.npz"
+        payload.write_bytes(payload.read_bytes()[:10])
+        with pytest.raises(StorageError):
+            LabelStore.load(tmp_path)
+
+    def test_clean_roundtrip_still_works(self, tmp_path):
+        populated_workspace(tmp_path)
+        restored = StorageManager.load(tmp_path)
+        assert len(restored.videos) == 2
+        assert len(restored.labels) == 1
+        assert restored.features.count("r3d") == 1
