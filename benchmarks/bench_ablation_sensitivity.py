@@ -9,7 +9,11 @@ Paper grid: w in {3,5,7} x C in {5,7} x T in {20,50} with many repetitions;
 here a 2x1x2 grid with one seed.
 """
 
+import logging
+
 from repro.experiments import run_sensitivity_sweep
+
+logger = logging.getLogger(__name__)
 
 GRID = {"smoothing_span": (3, 7), "slope_window": (5,), "horizon": (20, 50)}
 # The bandit waits 10 warm-up iterations before eliminating arms, so the sweep
@@ -23,8 +27,8 @@ def _run():
 
 def test_ablation_bandit_sensitivity(benchmark):
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    print()
-    print(result.format())
+    logger.info("")
+    logger.info(result.format())
 
     assert len(result.cells) == 4
     low, high = result.correctness_range()

@@ -30,6 +30,7 @@ Usage::
 
 from __future__ import annotations
 
+import logging
 import argparse
 import json
 import sys
@@ -40,9 +41,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.datasets.synthetic import DatasetSpec, generate_dataset
 from repro.experiments.runner import RunnerConfig, SessionRunner
 from repro.storage.durability import FaultInjector, InjectedCrash, inject_faults
+
+logger = logging.getLogger(__name__)
 
 #: Gate thresholds.
 MAX_OVERHEAD = 1.10
@@ -263,6 +267,7 @@ def run_crash_matrix(dataset, steps: int, batch_size: int) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     """Run every gate; returns a process exit code."""
+    telemetry.configure_logging("info", stream=sys.stdout, fmt="%(message)s")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke run (smaller workload)")
     args = parser.parse_args(argv)
@@ -290,17 +295,17 @@ def main(argv: list[str] | None = None) -> int:
     ARTIFACT.write_text(json.dumps(report, indent=2))
 
     failures = 0
-    print(f"== checkpoint overhead (explore loop, checkpoint-every={CHECKPOINT_EVERY}) ==")
-    print(
+    logger.info(f"== checkpoint overhead (explore loop, checkpoint-every={CHECKPOINT_EVERY}) ==")
+    logger.info(
         f"plain {overhead['plain_s']:.3f}s  durable {overhead['durable_s']:.3f}s  "
         f"overhead {overhead['overhead']:.3f}x (gate: <= {MAX_OVERHEAD}x)"
     )
     if overhead["overhead"] > MAX_OVERHEAD:
         failures += 1
 
-    print()
-    print("== bit-identical resume of an interrupted run (serial engine) ==")
-    print(
+    logger.info("")
+    logger.info("== bit-identical resume of an interrupted run (serial engine) ==")
+    logger.info(
         f"interrupted at step {identity['interrupted_at']}, resumed from "
         f"{identity['resumed_from']}, {identity['durable_tail_labels']} durable tail labels"
     )
@@ -310,22 +315,22 @@ def main(argv: list[str] | None = None) -> int:
         "latency_records_identical",
         "visible_latency_identical",
     ):
-        print(f"{key}: {identity[key]}")
+        logger.info(f"{key}: {identity[key]}")
         if not identity[key]:
             failures += 1
 
-    print()
-    print("== crash-injection matrix ==")
-    print(
+    logger.info("")
+    logger.info("== crash-injection matrix ==")
+    logger.info(
         f"{crash['injection_points']} injection points ({crash['point_kinds']}), "
         f"{crash['failures']} failures (gate: 0)"
     )
     if crash["failures"] or crash["injection_points"] == 0:
         failures += 1
 
-    print()
-    print(f"artifact: {ARTIFACT}")
-    print("PASS" if failures == 0 else f"FAIL ({failures} gate(s) violated)")
+    logger.info("")
+    logger.info(f"artifact: {ARTIFACT}")
+    logger.info("PASS" if failures == 0 else f"FAIL ({failures} gate(s) violated)")
     return 1 if failures else 0
 
 

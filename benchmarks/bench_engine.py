@@ -24,17 +24,21 @@ Usage::
 
 from __future__ import annotations
 
+import logging
 import argparse
 import hashlib
 import json
 import sys
 import time
 
+from repro import telemetry
 from repro.config import SchedulerConfig, VocalExploreConfig
 from repro.core.api import VOCALExplore
 from repro.datasets.catalog import build_dataset
 from repro.experiments.runner import RunnerConfig, SessionRunner
 from repro.scheduler.cost_model import CostModel
+
+logger = logging.getLogger(__name__)
 
 #: SHA-256 over the seeded simulated-engine latency records (deer, seed 0,
 #: 6 steps, VE-full, default costs), captured from the pre-engine scheduler.
@@ -140,6 +144,7 @@ def run_explore_loop(
 
 def main(argv: list[str] | None = None) -> int:
     """Run both gates; returns a process exit code."""
+    telemetry.configure_logging("info", stream=sys.stdout, fmt="%(message)s")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke run (smaller workload)")
     args = parser.parse_args(argv)
@@ -152,37 +157,37 @@ def main(argv: list[str] | None = None) -> int:
     time_scale = 0.02 if args.quick else 0.01
     failures = 0
 
-    print("== simulated-engine bit-identity ==")
+    logger.info("== simulated-engine bit-identity ==")
     digest = simulated_records_digest()
     identical = digest == GOLDEN_SIMULATED_SHA256
-    print(f"records sha256: {digest}")
-    print(f"golden  sha256: {GOLDEN_SIMULATED_SHA256}")
-    print(f"bit-identical to pre-engine scheduler: {identical}")
+    logger.info(f"records sha256: {digest}")
+    logger.info(f"golden  sha256: {GOLDEN_SIMULATED_SHA256}")
+    logger.info(f"bit-identical to pre-engine scheduler: {identical}")
     if not identical:
         failures += 1
 
-    print()
-    print(f"== worker-pool throughput (target: {target_videos} videos eager-extracted) ==")
+    logger.info("")
+    logger.info(f"== worker-pool throughput (target: {target_videos} videos eager-extracted) ==")
     results = {}
     for workers in (1, 4):
         wall, covered, iterations = run_explore_loop(workers, target_videos, time_scale)
         throughput = covered / wall
         results[workers] = (wall, covered, iterations, throughput)
-        print(
+        logger.info(
             f"workers={workers}: {covered} videos in {wall:.2f}s wall "
             f"({iterations} iterations, {throughput:.1f} videos/s)"
         )
         if covered < target_videos:
-            print(f"  FAIL: only {covered}/{target_videos} videos covered")
+            logger.info(f"  FAIL: only {covered}/{target_videos} videos covered")
             failures += 1
 
     speedup = results[4][3] / results[1][3]
-    print(f"speedup (workers=4 vs serial workers=1): {speedup:.2f}x (gate: >= {MIN_SPEEDUP}x)")
+    logger.info(f"speedup (workers=4 vs serial workers=1): {speedup:.2f}x (gate: >= {MIN_SPEEDUP}x)")
     if speedup < MIN_SPEEDUP:
         failures += 1
 
-    print()
-    print("PASS" if failures == 0 else f"FAIL ({failures} gate(s) violated)")
+    logger.info("")
+    logger.info("PASS" if failures == 0 else f"FAIL ({failures} gate(s) violated)")
     return 1 if failures else 0
 
 

@@ -21,14 +21,19 @@ Run with::
 
 from __future__ import annotations
 
+import logging
+import sys
 import argparse
 import gc
 import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.storage.feature_store import FeatureStore
 from repro.types import ClipSpec
+
+logger = logging.getLogger(__name__)
 
 CLIPS_PER_VIDEO = 60
 WINDOW = 1.0
@@ -158,19 +163,20 @@ def report(results: list[dict]) -> None:
         f"{'vectors':>10} {'queries':>8} {'metric':<14} "
         f"{'row-at-a-time':>14} {'columnar':>12} {'speedup':>8}"
     )
-    print(header)
-    print("-" * len(header))
+    logger.info(header)
+    logger.info("-" * len(header))
     for row in results:
         for metric in ("point_lookup", "nearest", "matrix_build"):
             old, new = row[metric]
-            print(
+            logger.info(
                 f"{row['num_vectors']:>10,} {row['num_queries']:>8,} {metric:<14} "
                 f"{old * 1e3:>12.2f}ms {new * 1e3:>10.2f}ms {old / max(new, 1e-12):>7.1f}x"
             )
-        print(f"{'':>10} {'':>8} {'ingest':<14} {'':>14} {'':>12} {row['ingest_speedup']:>7.1f}x")
+        logger.info(f"{'':>10} {'':>8} {'ingest':<14} {'':>14} {'':>12} {row['ingest_speedup']:>7.1f}x")
 
 
 def main() -> int:
+    telemetry.configure_logging("info", stream=sys.stdout, fmt="%(message)s")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small CI smoke run")
     parser.add_argument("--dim", type=int, default=64, help="feature dimensionality")
@@ -194,11 +200,11 @@ def main() -> int:
     )
     old, new = gate["matrix_build"]
     speedup = old / max(new, 1e-12)
-    print(f"\nmatrix-build speedup at {gate['num_vectors']:,} vectors: {speedup:.1f}x")
+    logger.info(f"\nmatrix-build speedup at {gate['num_vectors']:,} vectors: {speedup:.1f}x")
     if speedup < 5.0:
-        print("FAIL: expected >= 5x")
+        logger.info("FAIL: expected >= 5x")
         return 1
-    print("PASS: >= 5x")
+    logger.info("PASS: >= 5x")
     return 0
 
 

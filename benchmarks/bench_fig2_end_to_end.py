@@ -12,7 +12,11 @@ two features so the harness completes in CPU-minutes.  Pass larger values to
 ``run_end_to_end`` for the full configuration.
 """
 
+import logging
+
 from repro.experiments import run_end_to_end
+
+logger = logging.getLogger(__name__)
 
 NUM_STEPS = 8
 
@@ -29,8 +33,8 @@ def _run():
 
 def test_fig2_end_to_end_deer(benchmark):
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    print()
-    print(result.format())
+    logger.info("")
+    logger.info(result.format())
 
     ve_full = result.ve_full_point()
     assert ve_full is not None

@@ -7,7 +7,11 @@ VE-sample, VE-sample (CM), and the frequency-test variant on a skewed dataset
 Paper scale: 100 steps on six datasets; here 8 steps on two datasets.
 """
 
+import logging
+
 from repro.experiments import format_series, run_acquisition_comparison
+
+logger = logging.getLogger(__name__)
 
 NUM_STEPS = 8
 
@@ -24,9 +28,9 @@ def _run_uniform():
 
 def test_fig3_acquisition_k20_skew(benchmark):
     result = benchmark.pedantic(_run_skewed, rounds=1, iterations=1)
-    print()
-    print(result.format())
-    print(format_series({m: c.smax for m, c in result.curves.items()},
+    logger.info("")
+    logger.info(result.format())
+    logger.info(format_series({m: c.smax for m, c in result.curves.items()},
                         title="S_max trajectories", every=2))
 
     assert set(result.curves) == {
@@ -43,8 +47,8 @@ def test_fig3_acquisition_k20_skew(benchmark):
 
 def test_fig3_acquisition_bears_uniform(benchmark):
     result = benchmark.pedantic(_run_uniform, rounds=1, iterations=1)
-    print()
-    print(result.format())
+    logger.info("")
+    logger.info(result.format())
 
     # On a uniform dataset Random already matches active learning.
     random_f1 = result.curves["random"].final_f1

@@ -9,7 +9,11 @@ single feature by a meaningful margin.
 Paper scale: 100 steps on six datasets; here 8 steps on two datasets.
 """
 
+import logging
+
 from repro.experiments import run_feature_quality
+
+logger = logging.getLogger(__name__)
 
 NUM_STEPS = 8
 
@@ -20,8 +24,8 @@ def _run(dataset):
 
 def test_fig4_feature_quality_deer(benchmark):
     result = benchmark.pedantic(_run, args=("deer",), rounds=1, iterations=1)
-    print()
-    print(result.format())
+    logger.info("")
+    logger.info(result.format())
 
     curves = result.curves
     video_best = max(curves["r3d"].final_f1, curves["mvit"].final_f1)
@@ -40,8 +44,8 @@ def test_fig4_feature_quality_deer(benchmark):
 
 def test_fig4_feature_quality_bdd(benchmark):
     result = benchmark.pedantic(_run, args=("bdd",), rounds=1, iterations=1)
-    print()
-    print(result.format())
+    logger.info("")
+    logger.info(result.format())
 
     curves = result.curves
     clip_best = max(curves["clip"].final_f1, curves["clip_pooled"].final_f1)

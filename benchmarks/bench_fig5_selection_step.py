@@ -5,7 +5,11 @@ feature, comparing horizons T=20 and T=50: shorter horizons eliminate features
 faster, so convergence happens earlier.
 """
 
+import logging
+
 from repro.experiments import format_table, median_selection_step, selection_correctness
+
+logger = logging.getLogger(__name__)
 
 NUM_STEPS = 20
 SEEDS = (0, 1)
@@ -18,8 +22,8 @@ def _run():
 def test_fig5_median_selection_step(benchmark):
     results = benchmark.pedantic(_run, rounds=1, iterations=1)
     rows = median_selection_step(results)
-    print()
-    print(format_table(rows, title="Figure 5 — Median feature-selection step"))
+    logger.info("")
+    logger.info(format_table(rows, title="Figure 5 — Median feature-selection step"))
 
     by_horizon = {row["horizon"]: row for row in rows}
     assert set(by_horizon) == {20, 50}

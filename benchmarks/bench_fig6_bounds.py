@@ -5,7 +5,11 @@ feature on K20 (skew here, for faster convergence), the data behind the
 paper's Figure 6.
 """
 
+import logging
+
 from repro.experiments import bound_trace, format_table
+
+logger = logging.getLogger(__name__)
 
 NUM_STEPS = 15
 
@@ -16,9 +20,9 @@ def _run():
 
 def test_fig6_bandit_bounds(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    print()
+    logger.info("")
     last_step = max(row["step"] for row in rows)
-    print(format_table([r for r in rows if r["step"] in (1, last_step // 2, last_step)],
+    logger.info(format_table([r for r in rows if r["step"] in (1, last_step // 2, last_step)],
                        title="Figure 6 — bandit bounds (first / middle / last step)"))
 
     assert rows, "bound trace should not be empty"

@@ -7,7 +7,11 @@ the best feature, on the Deer dataset.
 Paper scale: 100 steps, six datasets; here 10 steps on Deer.
 """
 
+import logging
+
 from repro.experiments import run_ve_select_comparison
+
+logger = logging.getLogger(__name__)
 
 NUM_STEPS = 10
 
@@ -18,8 +22,8 @@ def _run():
 
 def test_fig7_ve_select_deer(benchmark):
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    print()
-    print(result.format())
+    logger.info("")
+    logger.info(result.format())
 
     # The best and worst fixed features must actually differ in quality.
     assert result.best_f1[-1] >= result.worst_f1[-1]

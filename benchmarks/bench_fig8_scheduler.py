@@ -9,7 +9,11 @@ per-step visible latency of VE-full is on the order of one second.
 Paper scale: 100 steps on three datasets; here 8 steps on Deer.
 """
 
+import logging
+
 from repro.experiments import run_scheduler_comparison
+
+logger = logging.getLogger(__name__)
 
 NUM_STEPS = 8
 
@@ -20,8 +24,8 @@ def _run():
 
 def test_fig8_scheduler_deer(benchmark):
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    print()
-    print(result.format())
+    logger.info("")
+    logger.info(result.format())
 
     full = result.point("ve-full")
     pp = result.point("ve-lazy(PP)")

@@ -8,7 +8,11 @@ Paper scale: 100 steps, noise in {5, 10, 20} %, six datasets; here 8 steps on
 Deer with noise in {0, 10, 20} %.
 """
 
+import logging
+
 from repro.experiments import run_label_noise
+
+logger = logging.getLogger(__name__)
 
 NUM_STEPS = 8
 NOISE_RATES = (0.0, 0.10, 0.20)
@@ -20,8 +24,8 @@ def _run():
 
 def test_fig9_label_noise_deer(benchmark):
     result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    print()
-    print(result.format())
+    logger.info("")
+    logger.info(result.format())
 
     assert set(result.curves) == set(NOISE_RATES)
     # Even the noisiest run should beat the worst fixed feature/sampling combo.

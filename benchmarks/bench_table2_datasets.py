@@ -4,13 +4,17 @@ Regenerates the paper's dataset table: class counts, skew, and corpus sizes
 (both the scaled corpora generated here and the paper-reported sizes).
 """
 
+import logging
+
 from repro.experiments import dataset_statistics_rows, format_table
+
+logger = logging.getLogger(__name__)
 
 
 def test_table2_dataset_statistics(benchmark):
     rows = benchmark.pedantic(dataset_statistics_rows, rounds=1, iterations=1)
-    print()
-    print(format_table(rows, title="Table 2 — Datasets"))
+    logger.info("")
+    logger.info(format_table(rows, title="Table 2 — Datasets"))
 
     assert len(rows) == 6
     by_name = {row["dataset"]: row for row in rows}

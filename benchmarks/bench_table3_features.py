@@ -5,15 +5,19 @@ dimensionality, throughput) and checks the extraction cost model derived from
 the reported throughputs.
 """
 
+import logging
+
 from repro.experiments import feature_extractor_rows, format_table
 from repro.features import PRETRAINED_SPECS
 from repro.scheduler import CostModel
 
+logger = logging.getLogger(__name__)
+
 
 def test_table3_feature_extractors(benchmark):
     rows = benchmark.pedantic(feature_extractor_rows, rounds=1, iterations=1)
-    print()
-    print(format_table(rows, title="Table 3 — Feature extractors"))
+    logger.info("")
+    logger.info(format_table(rows, title="Table 3 — Feature extractors"))
 
     assert [row["feature"] for row in rows] == ["r3d", "mvit", "clip", "clip_pooled", "random"]
     by_name = {row["feature"]: row for row in rows}

@@ -7,7 +7,11 @@ Paper scale: six datasets, many repetitions; here two datasets and two seeds
 per cell so the bench completes in CPU-minutes.
 """
 
+import logging
+
 from repro.experiments import format_table, selection_correctness
+
+logger = logging.getLogger(__name__)
 
 DATASETS = ("deer", "k20-skew")
 NUM_STEPS = 15
@@ -20,8 +24,8 @@ def _run():
 
 def test_table4_feature_selection_correctness(benchmark):
     results = benchmark.pedantic(_run, rounds=1, iterations=1)
-    print()
-    print(format_table([r.row() for r in results], title="Table 4 — Feature selection correctness"))
+    logger.info("")
+    logger.info(format_table([r.row() for r in results], title="Table 4 — Feature selection correctness"))
 
     assert len(results) == len(DATASETS) * 2
     for result in results:

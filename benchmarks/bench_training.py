@@ -35,6 +35,7 @@ Usage::
 
 from __future__ import annotations
 
+import logging
 import argparse
 import dataclasses
 import json
@@ -42,11 +43,14 @@ import sys
 import time
 from pathlib import Path
 
+from repro import telemetry
 from repro.config import ModelConfig, VocalExploreConfig
 from repro.core.api import VOCALExplore
 from repro.core.oracle import OracleUser
 from repro.datasets.catalog import build_dataset
 from repro.models.metrics import macro_f1
+
+logger = logging.getLogger(__name__)
 
 #: Candidate features the evaluation round scores (the bandit's arms).
 FEATURES = ("r3d", "mvit", "clip")
@@ -186,6 +190,7 @@ def run_workload(num_labels: int, rounds: int, seed: int = 0) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     """Run every gate; returns a process exit code."""
+    telemetry.configure_logging("info", stream=sys.stdout, fmt="%(message)s")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke run (smaller workload)")
     args = parser.parse_args(argv)
@@ -201,45 +206,45 @@ def main(argv: list[str] | None = None) -> int:
     cached = report["cached_cv"]
     failures = 0
 
-    print(f"== incremental retrain at ~{num_labels} labels ({rounds} rounds) ==")
-    print(
+    logger.info(f"== incremental retrain at ~{num_labels} labels ({rounds} rounds) ==")
+    logger.info(
         f"warm {train['warm_s']:.3f}s  cold {train['cold_s']:.3f}s  "
         f"speedup {train['speedup']:.1f}x (gate: >= {MIN_TRAIN_SPEEDUP}x)"
     )
     if train["speedup"] < MIN_TRAIN_SPEEDUP:
         failures += 1
 
-    print()
-    print(f"== evaluate_features round across {len(FEATURES)} candidates ==")
-    print(
+    logger.info("")
+    logger.info(f"== evaluate_features round across {len(FEATURES)} candidates ==")
+    logger.info(
         f"warm {evaluate['warm_s']:.3f}s  cold {evaluate['cold_s']:.3f}s  "
         f"speedup {evaluate['speedup']:.1f}x (gate: >= {MIN_EVAL_SPEEDUP}x)"
     )
-    print(f"fold reuse rate: {report['fold_reuse_rate']:.2f}")
+    logger.info(f"fold reuse rate: {report['fold_reuse_rate']:.2f}")
     if evaluate["speedup"] < MIN_EVAL_SPEEDUP:
         failures += 1
 
-    print()
-    print("== macro-F1 parity on held-out clips ==")
-    print(
+    logger.info("")
+    logger.info("== macro-F1 parity on held-out clips ==")
+    logger.info(
         f"warm {parity['warm_f1']:.4f}  cold {parity['cold_f1']:.4f}  "
         f"|delta| {parity['delta']:.4f} (gate: <= {MAX_F1_DELTA})"
     )
     if parity["delta"] > MAX_F1_DELTA:
         failures += 1
 
-    print()
-    print("== cached cross-validation (no new labels) ==")
-    print(
+    logger.info("")
+    logger.info("== cached cross-validation (no new labels) ==")
+    logger.info(
         f"identical results: {cached['identical']}  "
         f"cache hits: {cached['cache_hits']}/{cached['expected_hits']}"
     )
     if not cached["identical"] or cached["cache_hits"] != cached["expected_hits"]:
         failures += 1
 
-    print()
-    print(f"artifact: {ARTIFACT}")
-    print("PASS" if failures == 0 else f"FAIL ({failures} gate(s) violated)")
+    logger.info("")
+    logger.info(f"artifact: {ARTIFACT}")
+    logger.info("PASS" if failures == 0 else f"FAIL ({failures} gate(s) violated)")
     return 1 if failures else 0
 
 

@@ -22,15 +22,20 @@ Run with::
 
 from __future__ import annotations
 
+import logging
+import sys
 import argparse
 import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.alm.acquisition import AcquisitionContext, ClusterMarginAcquisition, CoresetAcquisition
 from repro.alm.clustering import _init_centroids, kmeans
 from repro.index import ExactIndex, IVFFlatIndex, LSHIndex
 from repro.types import ClipSpec
+
+logger = logging.getLogger(__name__)
 
 K = 10
 
@@ -236,11 +241,11 @@ def report(rows: list[dict]) -> None:
         f"{'vectors':>10} {'queries':>8} {'backend':<10} {'recall@10':>10} "
         f"{'search':>10} {'speedup':>8}"
     )
-    print(header)
-    print("-" * len(header))
+    logger.info(header)
+    logger.info("-" * len(header))
     for row in rows:
         base = row["exact_time"]
-        print(
+        logger.info(
             f"{row['num_vectors']:>10,} {row['num_queries']:>8,} {'exact':<10} "
             f"{1.0:>10.3f} {base * 1e3:>8.1f}ms {1.0:>7.1f}x"
         )
@@ -251,7 +256,7 @@ def report(rows: list[dict]) -> None:
                 if backend == "ivf"
                 else ""
             )
-            print(
+            logger.info(
                 f"{'':>10} {'':>8} {backend:<10} {row[f'{backend}_recall']:>10.3f} "
                 f"{row[f'{backend}_time'] * 1e3:>8.1f}ms "
                 f"{base / max(row[f'{backend}_time'], 1e-12):>7.1f}x{extra}"
@@ -259,6 +264,7 @@ def report(rows: list[dict]) -> None:
 
 
 def main() -> int:
+    telemetry.configure_logging("info", stream=sys.stdout, fmt="%(message)s")
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small CI smoke run")
     parser.add_argument("--dim", type=int, default=64, help="vector dimensionality")
@@ -278,27 +284,27 @@ def main() -> int:
     failures: list[str] = []
     gate = next((r for r in rows if r["num_vectors"] == 100_000), rows[-1])
     speedup = gate["exact_time"] / max(gate["ivf_time"], 1e-12)
-    print(f"\nIVF recall@10 at {gate['num_vectors']:,} vectors: {gate['ivf_recall']:.3f} "
+    logger.info(f"\nIVF recall@10 at {gate['num_vectors']:,} vectors: {gate['ivf_recall']:.3f} "
           f"(gate >= 0.9)")
-    print(f"IVF search speedup over exact: {speedup:.1f}x (gate >= 5x)")
+    logger.info(f"IVF search speedup over exact: {speedup:.1f}x (gate >= 5x)")
     if gate["ivf_recall"] < 0.9:
         failures.append("IVF recall@10 below 0.9 at default nprobe")
     if speedup < 5.0:
         failures.append("IVF search less than 5x faster than exact")
 
     parity = check_exact_parity(seed=args.seed)
-    print("exact-path parity (coreset / kmeans / cluster-margin): "
+    logger.info("exact-path parity (coreset / kmeans / cluster-margin): "
           + ("OK" if not parity else "; ".join(parity)))
     failures.extend(parity)
 
     cli = check_cli_end_to_end()
-    print("CLI end-to-end search: " + ("OK" if not cli else "; ".join(cli)))
+    logger.info("CLI end-to-end search: " + ("OK" if not cli else "; ".join(cli)))
     failures.extend(cli)
 
     if failures:
-        print("\nFAIL: " + "; ".join(failures))
+        logger.info("\nFAIL: " + "; ".join(failures))
         return 1
-    print("\nPASS")
+    logger.info("\nPASS")
     return 0
 
 

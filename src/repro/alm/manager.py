@@ -19,11 +19,13 @@ simulated cost.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..config import ALMConfig, FeatureSelectionConfig, IndexConfig
 from ..exceptions import AcquisitionError, InsufficientLabelsError
 from ..features.feature_manager import ExtractionReport, FeatureManager
@@ -42,6 +44,8 @@ from .bandit import RisingBanditSelector
 from .skew import SkewDecision, SkewDetector
 
 __all__ = ["SelectionResult", "ActiveLearningManager"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -130,16 +134,19 @@ class ActiveLearningManager:
         of being silently masked as a zero score.
         """
         scores: dict[str, float] = {}
-        for name in self.bandit.active_arms():
-            try:
-                result = self.models.cross_validate(
-                    name,
-                    num_folds=self.selection_config.cv_folds,
-                    min_labels_per_class=self.selection_config.min_labels_per_class,
-                )
-                scores[name] = result.mean_f1
-            except InsufficientLabelsError:
-                scores[name] = 0.0
+        with telemetry.span(
+            "evaluate_features", "alm", candidates=len(self.bandit.active_arms())
+        ):
+            for name in self.bandit.active_arms():
+                try:
+                    result = self.models.cross_validate(
+                        name,
+                        num_folds=self.selection_config.cv_folds,
+                        min_labels_per_class=self.selection_config.min_labels_per_class,
+                    )
+                    scores[name] = result.mean_f1
+                except InsufficientLabelsError:
+                    scores[name] = 0.0
         return scores
 
     def update_feature_scores(self, scores: dict[str, float]) -> list[str]:
@@ -267,6 +274,28 @@ class ActiveLearningManager:
         if batch_size < 1:
             raise AcquisitionError(f"batch_size must be >= 1, got {batch_size}")
         self._iteration += 1
+        with telemetry.span(
+            "select_segments",
+            "alm",
+            metric="alm.select_seconds",
+            batch_size=batch_size,
+        ) as span:
+            result = self._select_segments_impl(
+                batch_size, clip_duration, target_label, use_active, feature_name
+            )
+            span.set_attribute("acquisition", result.acquisition)
+            span.set_attribute("feature", result.feature_name)
+            return result
+
+    def _select_segments_impl(
+        self,
+        batch_size: int,
+        clip_duration: float,
+        target_label: str | None,
+        use_active: bool | None,
+        feature_name: str | None,
+    ) -> SelectionResult:
+        """Span-free body of :meth:`select_segments`."""
         skew = self.decide_acquisition()
         active = skew.is_skewed if use_active is None else use_active
         feature = feature_name if feature_name is not None else self.current_feature()

@@ -10,11 +10,15 @@ Provides four subcommands:
   the feature store through a selectable vector-index backend.
 * ``repro-vocal experiment`` — regenerate one of the paper's tables or figures
   and print its rows.
+* ``repro-vocal report`` — render the telemetry report of a traced run
+  (metrics tables plus per-iteration SLO verdicts).
 
 Example::
 
     python -m repro.cli explore --dataset k20-skew --steps 20 --strategy ve-full
     python -m repro.cli explore --dataset deer --engine threads --workers 4 --time-scale 0.001
+    python -m repro.cli explore --dataset deer --trace-dir /tmp/trace --slo 5.0
+    python -m repro.cli report --trace-dir /tmp/trace
     python -m repro.cli search --dataset deer --vid 0 --start 0 --end 1 --backend ivf-flat
     python -m repro.cli experiment --name fig3 --dataset k20-skew --steps 10
 """
@@ -22,9 +26,11 @@ Example::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Callable, Sequence
 
+from . import telemetry
 from .datasets.catalog import DATASET_NAMES
 from .scheduler.engine import ENGINE_NAMES
 from .experiments import (
@@ -44,12 +50,20 @@ from .experiments.tables import format_table2, format_table3
 
 __all__ = ["main", "build_parser"]
 
+logger = logging.getLogger(__name__)
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro-vocal",
         description="VOCALExplore reproduction: pay-as-you-go video exploration",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="module-logger verbosity on stderr (default: warning)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -107,6 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume an interrupted run from --checkpoint-dir's last valid "
         "snapshot and continue to --steps",
     )
+    explore.add_argument(
+        "--trace-dir", default=None,
+        help="write telemetry to this directory: trace.jsonl (structured "
+        "spans), chrome_trace.json (load in chrome://tracing), metrics.json",
+    )
+    explore.add_argument(
+        "--slo", type=float, default=None, metavar="SECONDS",
+        help="per-iteration visible-latency budget; violations are counted "
+        "in the report and recorded in the trace",
+    )
     explore.add_argument("--seed", type=int, default=0)
 
     search = subparsers.add_parser("search", help='similarity search ("find clips like this")')
@@ -139,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--steps", type=int, default=10)
     experiment.add_argument("--seed", type=int, default=0)
 
+    report = subparsers.add_parser(
+        "report", help="render the telemetry report of a traced run"
+    )
+    report.add_argument(
+        "--trace-dir", required=True,
+        help="directory a previous run wrote with explore --trace-dir",
+    )
+
     return parser
 
 
@@ -166,11 +198,15 @@ def _run_explore(args: argparse.Namespace) -> str:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        trace_dir=args.trace_dir,
+        visible_latency_slo_s=args.slo,
         seed=args.seed,
     )
     runner = SessionRunner(dataset, config)
+    slo_verdicts = []
     try:
         result = runner.run()
+        slo_verdicts = runner.vocal.session.slo_results()
     finally:
         runner.close()
     resume_note = ""
@@ -202,9 +238,30 @@ def _run_explore(args: argparse.Namespace) -> str:
         f"cumulative visible latency: {result.cumulative_visible_latency:.1f} s",
         f"selected feature: {result.selected_feature or '(not converged)'}",
     ]
+    if args.slo is not None:
+        violations = [v for v in slo_verdicts if v.violated]
+        lines.append(
+            f"SLO ({args.slo:g} s/iteration): {len(violations)} of "
+            f"{len(slo_verdicts)} iterations violated"
+        )
+        for verdict in violations:
+            lines.append(
+                f"  iteration {verdict.iteration}: {verdict.visible_latency:.2f} s "
+                f"(over budget by {verdict.overshoot:.2f} s)"
+            )
+    if args.trace_dir is not None:
+        lines.append(f"telemetry written to {args.trace_dir}")
     if resume_note:
         lines.append(resume_note)
     return "\n".join(lines)
+
+
+def _run_report(args: argparse.Namespace) -> str:
+    try:
+        doc = telemetry.load_run(args.trace_dir)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from exc
+    return telemetry.render_report(doc["metrics"], doc.get("slo"), doc.get("label", "run"))
 
 
 def _run_search(args: argparse.Namespace) -> str:
@@ -281,6 +338,7 @@ _HANDLERS: dict[str, Callable[[argparse.Namespace], str]] = {
     "explore": _run_explore,
     "search": _run_search,
     "experiment": _run_experiment,
+    "report": _run_report,
 }
 
 
@@ -288,8 +346,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    telemetry.configure_logging(args.log_level)
     output = _HANDLERS[args.command](args)
-    print(output)
+    sys.stdout.write(output + "\n")
     return 0
 
 

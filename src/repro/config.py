@@ -25,6 +25,7 @@ __all__ = [
     "ModelConfig",
     "ExploreConfig",
     "IndexConfig",
+    "TelemetryConfig",
     "VocalExploreConfig",
 ]
 
@@ -268,6 +269,43 @@ class IndexConfig:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability subsystem (``repro.telemetry``).
+
+    Telemetry is off by default and costs nearly nothing while off (the
+    telemetry benchmark gates the disabled overhead at <= 3%).  Setting any
+    field activates a telemetry run for the session: spans and metrics are
+    collected in-process, written to ``trace_dir`` when one is given, and
+    per-iteration visible latency is checked against
+    ``visible_latency_slo_s`` when a budget is declared.
+    """
+
+    #: Collect spans and metrics even without a trace directory (the run
+    #: report and SLO accounting are still available in-process).
+    enabled: bool = False
+    #: Directory receiving ``trace.jsonl``, ``chrome_trace.json``, and
+    #: ``metrics.json``; None keeps the run in-memory only.
+    trace_dir: str | None = None
+    #: Per-iteration user-visible latency budget in cost-model seconds; an
+    #: iteration whose T_s exceeds it counts as an SLO violation.  None
+    #: records latency without verdicts.
+    visible_latency_slo_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.visible_latency_slo_s is not None and self.visible_latency_slo_s <= 0:
+            raise ValueError("visible_latency_slo_s must be > 0")
+
+    @property
+    def active(self) -> bool:
+        """True when any field asks for a telemetry run."""
+        return (
+            self.enabled
+            or self.trace_dir is not None
+            or self.visible_latency_slo_s is not None
+        )
+
+
+@dataclass(frozen=True)
 class VocalExploreConfig:
     """Top-level configuration combining every subsystem."""
 
@@ -277,6 +315,7 @@ class VocalExploreConfig:
     model: ModelConfig = field(default_factory=ModelConfig)
     explore: ExploreConfig = field(default_factory=ExploreConfig)
     index: IndexConfig = field(default_factory=IndexConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     #: Random seed driving sampling, synthetic data, and model initialisation.
     seed: int = 0
 
@@ -287,7 +326,10 @@ class VocalExploreConfig:
 
             config.with_updates(scheduler=SchedulerConfig(strategy="serial"), seed=7)
         """
-        valid = {"alm", "feature_selection", "scheduler", "model", "explore", "index", "seed"}
+        valid = {
+            "alm", "feature_selection", "scheduler", "model", "explore", "index",
+            "telemetry", "seed",
+        }
         unknown = set(sections) - valid
         if unknown:
             raise ValueError(f"unknown config sections: {sorted(unknown)}")

@@ -480,6 +480,11 @@ def _restore_scheduler(session: "ExplorationSession", doc: dict) -> None:
         for record in doc["iterations"]
     ]
     scheduler._current = scheduler._iterations[-1] if scheduler._iterations else None
+    # Rebuild the closed-records running total exactly as begin_iteration
+    # would have: every record except the open one, summed left to right.
+    scheduler._closed_visible_total = sum(
+        record.visible_latency for record in scheduler._iterations[:-1]
+    )
     scheduler._finalised = bool(doc["finalised"])
     scheduler._queue = []
     for spec in doc["queue"]:

@@ -20,12 +20,14 @@ and 8 without requiring the authors' GPU testbed.
 
 from __future__ import annotations
 
+import logging
 import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..alm.manager import ActiveLearningManager, SelectionResult
 from ..config import VocalExploreConfig
 from ..exceptions import CheckpointError, InsufficientLabelsError, ReproError
@@ -50,6 +52,8 @@ __all__ = [
     "RecoveryReport",
     "ExplorationSession",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -204,6 +208,24 @@ class ExplorationSession:
             self.durability = CheckpointManager(config.scheduler.checkpoint_dir)
             storage.attach_journal(self.durability.journal_record)
 
+        #: Telemetry run (``repro.telemetry``): activated when any
+        #: ``TelemetryConfig`` field is set.  The session owns the run — it
+        #: records one SLO verdict per finished iteration and closes the run
+        #: (flushing trace files) in :meth:`close`.
+        self.telemetry_run: telemetry.TelemetryRun | None = None
+        self._iteration_span = None
+        if config.telemetry.active:
+            self.telemetry_run = telemetry.start_run(
+                trace_dir=config.telemetry.trace_dir,
+                slo_budget_s=config.telemetry.visible_latency_slo_s,
+                label=f"explore-{config.scheduler.strategy}-{config.scheduler.engine}",
+            )
+            logger.info(
+                "telemetry run started (trace_dir=%s, slo=%s)",
+                config.telemetry.trace_dir,
+                config.telemetry.visible_latency_slo_s,
+            )
+
     # ---------------------------------------------------------------- lifecycle
     def close(self) -> None:
         """Release execution-engine resources (worker threads, if any).
@@ -217,6 +239,11 @@ class ExplorationSession:
         if self.durability is not None:
             self.durability.commit()
             self.durability.close()
+        if self.telemetry_run is not None:
+            if self._iteration_span is not None:
+                self._iteration_span.end()
+                self._iteration_span = None
+            self.telemetry_run.close()
 
     def _journal_commit(self) -> None:
         """Make journaled writes durable (no-op without checkpointing)."""
@@ -242,6 +269,18 @@ class ExplorationSession:
     def cumulative_visible_latency(self) -> float:
         """Total user-visible latency accumulated so far."""
         return self.scheduler.cumulative_visible_latency()
+
+    def slo_results(self) -> list:
+        """Per-iteration SLO verdicts so far ([] without a telemetry run)."""
+        if self.telemetry_run is None:
+            return []
+        return self.telemetry_run.slo.results()
+
+    def telemetry_report(self) -> str | None:
+        """The run's human telemetry report (None without a telemetry run)."""
+        if self.telemetry_run is None:
+            return None
+        return self.telemetry_run.report()
 
     def current_feature(self) -> str:
         """Feature extractor currently used for predictions."""
@@ -275,12 +314,18 @@ class ExplorationSession:
 
     def watch(self, vid: int, start: float, end: float) -> list[VideoSegment]:
         """Return consecutive clips of the requested window with predictions."""
-        video = self.storage.videos.get(vid)
-        clips = self.sampler.consecutive_clips(video, start, end, self.config.explore.clip_duration)
-        feature = self.alm.current_feature()
-        self._charge_foreground_extraction(feature, clips)
-        predictions = self._predict(feature, clips, charge=True)
-        return [VideoSegment(clip=clip, prediction=pred) for clip, pred in zip(clips, predictions)]
+        with telemetry.span("watch", "session", vid=vid):
+            video = self.storage.videos.get(vid)
+            clips = self.sampler.consecutive_clips(
+                video, start, end, self.config.explore.clip_duration
+            )
+            feature = self.alm.current_feature()
+            self._charge_foreground_extraction(feature, clips)
+            predictions = self._predict(feature, clips, charge=True)
+            return [
+                VideoSegment(clip=clip, prediction=pred)
+                for clip, pred in zip(clips, predictions)
+            ]
 
     def search(
         self,
@@ -312,57 +357,60 @@ class ExplorationSession:
         feature = feature_name if feature_name is not None else self.alm.current_feature()
         store = self.storage.features
 
-        # Only ClipSpec and 3-tuples are clip queries; lists and arrays are
-        # always raw vectors, so a 3-d feature vector is never silently
-        # reinterpreted as (vid, start, end).
-        query_clip: ClipSpec | None = None
-        if isinstance(query, ClipSpec):
-            query_clip = query
-        elif isinstance(query, tuple) and len(query) == 3:
-            query_clip = ClipSpec(int(query[0]), float(query[1]), float(query[2]))
+        with telemetry.span("search", "session", k=k, feature=feature):
+            # Only ClipSpec and 3-tuples are clip queries; lists and arrays are
+            # always raw vectors, so a 3-d feature vector is never silently
+            # reinterpreted as (vid, start, end).
+            query_clip: ClipSpec | None = None
+            if isinstance(query, ClipSpec):
+                query_clip = query
+            elif isinstance(query, tuple) and len(query) == 3:
+                query_clip = ClipSpec(int(query[0]), float(query[1]), float(query[2]))
 
-        if store.count(feature) <= k:
-            report = self.alm.ensure_candidate_pool(feature, self.config.alm.candidate_pool_size)
-            if report.videos_touched:
-                self._charge_extraction_batch(feature, report.videos_touched)
-
-        if query_clip is not None:
-            self._charge_foreground_extraction(feature, [query_clip])
-            query_vector = store.matrix(feature, [query_clip])[0]
-        else:
-            query_vector = np.asarray(query, dtype=np.float64)
-            if query_vector.ndim != 1:
-                raise ReproError(
-                    f"vector query must be 1-D, got shape {query_vector.shape}"
+            if store.count(feature) <= k:
+                report = self.alm.ensure_candidate_pool(
+                    feature, self.config.alm.candidate_pool_size
                 )
+                if report.videos_touched:
+                    self._charge_extraction_batch(feature, report.videos_touched)
 
-        num_vectors = store.count(feature)
-        if num_vectors == 0:
-            raise ReproError(f"no {feature} features available to search")
+            if query_clip is not None:
+                self._charge_foreground_extraction(feature, [query_clip])
+                query_vector = store.matrix(feature, [query_clip])[0]
+            else:
+                query_vector = np.asarray(query, dtype=np.float64)
+                if query_vector.ndim != 1:
+                    raise ReproError(
+                        f"vector query must be 1-D, got shape {query_vector.shape}"
+                    )
 
-        index = self.config.index
-        store.attach_index(feature, index.backend, seed=self.config.seed, **index.params())
-        approximate = index.backend != "exact"
-        self.scheduler.run_foreground(
-            Task(
-                kind=TaskKind.VECTOR_SEARCH,
-                duration=self.cost_model.search_time(1, num_vectors, approximate),
-                description=f"search top-{k} of {num_vectors} {feature} vectors",
+            num_vectors = store.count(feature)
+            if num_vectors == 0:
+                raise ReproError(f"no {feature} features available to search")
+
+            index = self.config.index
+            store.attach_index(feature, index.backend, seed=self.config.seed, **index.params())
+            approximate = index.backend != "exact"
+            self.scheduler.run_foreground(
+                Task(
+                    kind=TaskKind.VECTOR_SEARCH,
+                    duration=self.cost_model.search_time(1, num_vectors, approximate),
+                    description=f"search top-{k} of {num_vectors} {feature} vectors",
+                )
             )
-        )
 
-        # Ask for one extra neighbour so the query clip can be dropped from
-        # its own results without shrinking the answer.
-        exclude = (
-            store.resolve_clips(feature, [query_clip])[0] if query_clip is not None else None
-        )
-        distances, rows = store.search(feature, query_vector, k + (exclude is not None))
-        hits: list[SearchHit] = []
-        for distance, clip in zip(distances[0], store.clips_at(feature, rows[0])):
-            if clip is None or clip == exclude:
-                continue
-            hits.append(SearchHit(clip=clip, distance=float(distance)))
-        return hits[:k]
+            # Ask for one extra neighbour so the query clip can be dropped from
+            # its own results without shrinking the answer.
+            exclude = (
+                store.resolve_clips(feature, [query_clip])[0] if query_clip is not None else None
+            )
+            distances, rows = store.search(feature, query_vector, k + (exclude is not None))
+            hits: list[SearchHit] = []
+            for distance, clip in zip(distances[0], store.clips_at(feature, rows[0])):
+                if clip is None or clip == exclude:
+                    continue
+                hits.append(SearchHit(clip=clip, distance=float(distance)))
+            return hits[:k]
 
     # ----------------------------------------------------------------- explore
     def explore(
@@ -388,6 +436,16 @@ class ExplorationSession:
 
         self._iteration += 1
         self.scheduler.begin_iteration(self._iteration)
+        if self.telemetry_run is not None:
+            if self._iteration_span is not None:
+                self._iteration_span.end()
+            # Manual span spanning explore + the labeling window; ended in
+            # finish_iteration.  Tasks created meanwhile capture it as their
+            # parent, so worker-executed background work nests under the
+            # iteration that enqueued it.
+            self._iteration_span = telemetry.start_span(
+                "iteration", "session", iteration=self._iteration
+            )
         self._labels_at_iteration_start = len(self.storage.labels)
         self._flush_round_scores()
 
@@ -470,7 +528,8 @@ class ExplorationSession:
         else:
             self._schedule_background_training(feature, batch_size, user_time, labels_added)
             self._schedule_background_evaluation(num_labels)
-            self.scheduler.run_background_window(window)
+            with telemetry.span("window", "session", window_s=window):
+                self.scheduler.run_background_window(window)
 
         record = self.scheduler.current_iteration
         summary = IterationSummary(
@@ -490,6 +549,16 @@ class ExplorationSession:
         # Freeze the record: user-facing calls between iterations (watch,
         # search) must not mutate latency figures already reported here.
         self.scheduler.close_iteration()
+        if self.telemetry_run is not None:
+            # SLO accounting folds the frozen record into the run's budget
+            # verdicts; the iteration span closes with the final figure.
+            self.telemetry_run.record_iteration(record)
+            if self._iteration_span is not None:
+                self._iteration_span.set_attribute(
+                    "visible_latency_s", record.visible_latency
+                )
+                self._iteration_span.end()
+                self._iteration_span = None
         if self.durability is not None:
             # Boundary marker: lets recovery report which iterations the
             # journal tail spans, without carrying state (checkpoints do).

@@ -92,6 +92,10 @@ class TaskError(SchedulerError):
     """Raised when a scheduled task fails to execute."""
 
 
+class TelemetryError(ReproError):
+    """Raised by the telemetry subsystem (``repro.telemetry``)."""
+
+
 class DatasetError(ReproError):
     """Raised by the synthetic dataset catalog."""
 

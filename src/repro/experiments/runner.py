@@ -14,7 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
-from ..config import ALMConfig, ModelConfig, SchedulerConfig, VocalExploreConfig
+from ..config import (
+    ALMConfig,
+    ModelConfig,
+    SchedulerConfig,
+    TelemetryConfig,
+    VocalExploreConfig,
+)
 from ..core.api import VOCALExplore
 from ..core.oracle import NoisyOracleUser, OracleUser
 from ..datasets.synthetic import Dataset
@@ -75,6 +81,10 @@ class RunnerConfig:
     #: Resume from ``checkpoint_dir`` before running (continues an
     #: interrupted run from its last durable checkpoint).
     resume: bool = False
+    #: Telemetry trace output directory (None leaves tracing off).
+    trace_dir: str | None = None
+    #: Per-iteration visible-latency SLO budget in seconds (None = no SLO).
+    visible_latency_slo_s: float | None = None
     seed: int = 0
 
 
@@ -179,6 +189,11 @@ class SessionRunner:
                 checkpoint_every=cfg.checkpoint_every,
             ),
             model=ModelConfig(warm_start=cfg.warm_start),
+            telemetry=TelemetryConfig(
+                enabled=cfg.trace_dir is not None or cfg.visible_latency_slo_s is not None,
+                trace_dir=cfg.trace_dir,
+                visible_latency_slo_s=cfg.visible_latency_slo_s,
+            ),
             seed=cfg.seed,
         )
         system_config = system_config.with_updates(

@@ -13,15 +13,19 @@ gathered in submission order, so the output is identical to the serial path.
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from .. import telemetry
 from ..types import ClipSpec, FeatureVector
 from ..video.decoder import Decoder
 from .extractor import FeatureExtractor
 
 __all__ = ["PipelineStats", "FeatureExtractionPipeline"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -79,9 +83,19 @@ class FeatureExtractionPipeline:
         if not clips:
             return []
         self.stats.record_batch(extractor.name, len(clips))
-        if self._executor is not None and len(clips) >= 2 * self.MIN_SHARD_SIZE:
-            return self._run_sharded(extractor, clips)
-        return self._extract_shard(extractor, clips)
+        with telemetry.span(
+            "extract_batch",
+            "features",
+            metric="features.batch_seconds",
+            extractor=extractor.name,
+            clips=len(clips),
+        ) as span:
+            telemetry.counter("features.clips_processed").add(len(clips))
+            telemetry.counter("features.pipelines_created").add(1)
+            if self._executor is not None and len(clips) >= 2 * self.MIN_SHARD_SIZE:
+                span.set_attribute("sharded", True)
+                return self._run_sharded(extractor, clips)
+            return self._extract_shard(extractor, clips)
 
     def _run_sharded(
         self, extractor: FeatureExtractor, clips: Sequence[ClipSpec]

@@ -37,12 +37,14 @@ fold assignment), which is also what the training benchmark compares against.
 
 from __future__ import annotations
 
+import logging
 import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..config import ModelConfig
 from ..exceptions import InsufficientLabelsError, ModelError
 from ..features.feature_manager import FeatureManager
@@ -59,6 +61,8 @@ from .validation import (
 )
 
 __all__ = ["TrainingStats", "ModelManager"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -248,6 +252,7 @@ class ModelManager:
             and entry.feature_epoch == store.epoch(feature_name)
         ):
             self.stats.design_hits += 1
+            telemetry.counter("models.design_hits").add(1)
             return entry
 
         if entry is not None:
@@ -280,6 +285,7 @@ class ModelManager:
                         entry.label_revision += len(fresh)
                         entry.feature_epoch = epoch_now
                         self.stats.design_extensions += 1
+                        telemetry.counter("models.design_extensions").add(1)
                         return entry
             # A write changed some cached clip's resolution (or the shard's
             # dimensionality only just became known): rebuild from scratch.
@@ -308,6 +314,7 @@ class ModelManager:
         )
         self._design_cache[feature_name] = entry
         self.stats.design_rebuilds += 1
+        telemetry.counter("models.design_rebuilds").add(1)
         return entry
 
     def can_train(self) -> bool:
@@ -350,44 +357,55 @@ class ModelManager:
             raise InsufficientLabelsError(
                 "training requires labels from at least two classes"
             )
-        features, names = self.training_design(feature_name, label_limit)
-        initial = None
-        standardization = None
-        if self.config.warm_start:
-            if label_limit is None:
-                with self._rng_lock:
-                    entry = self._design_cache.get(feature_name)
-                    if entry is not None and entry.matrix.shape[0] == features.shape[0]:
-                        standardization = entry.standardization()
-            if standardization is None and features.shape[0]:
-                # Just-in-time (prefix) trains bypass the cached sums; the
-                # stats are still needed up front so the warm seed can be
-                # re-expressed in the basis the fit will standardize with.
-                standardization = standardization_stats(features)
-            latest = self.registry.latest(feature_name)
-            if latest is not None:
-                initial = latest[0].initial_parameters_for(
-                    self.vocabulary, features.shape[1], standardization=standardization
-                )
-        model = SoftmaxRegression(
-            classes=self.vocabulary,
-            l2_regularization=self.config.l2_regularization,
-            max_iterations=self.config.max_iterations,
-            tolerance=self.config.warm_tolerance if initial is not None else self.config.tolerance,
-        )
-        with self._rng_lock:
-            if initial is not None:
-                self.stats.warm_trains += 1
-            else:
-                self.stats.cold_trains += 1
-        model.fit(features, names, initial_parameters=initial, standardization=standardization)
-        return self.registry.register(
-            feature_name=feature_name,
-            model=model,
-            classes=self.vocabulary,
-            num_labels=len(names),
-            created_at=at_time,
-        )
+        with telemetry.span(
+            "train", "models", metric="models.train_seconds", feature=feature_name
+        ) as train_span:
+            features, names = self.training_design(feature_name, label_limit)
+            initial = None
+            standardization = None
+            if self.config.warm_start:
+                if label_limit is None:
+                    with self._rng_lock:
+                        entry = self._design_cache.get(feature_name)
+                        if entry is not None and entry.matrix.shape[0] == features.shape[0]:
+                            standardization = entry.standardization()
+                if standardization is None and features.shape[0]:
+                    # Just-in-time (prefix) trains bypass the cached sums; the
+                    # stats are still needed up front so the warm seed can be
+                    # re-expressed in the basis the fit will standardize with.
+                    standardization = standardization_stats(features)
+                latest = self.registry.latest(feature_name)
+                if latest is not None:
+                    initial = latest[0].initial_parameters_for(
+                        self.vocabulary, features.shape[1], standardization=standardization
+                    )
+            model = SoftmaxRegression(
+                classes=self.vocabulary,
+                l2_regularization=self.config.l2_regularization,
+                max_iterations=self.config.max_iterations,
+                tolerance=self.config.warm_tolerance
+                if initial is not None
+                else self.config.tolerance,
+            )
+            with self._rng_lock:
+                if initial is not None:
+                    self.stats.warm_trains += 1
+                else:
+                    self.stats.cold_trains += 1
+            warm = initial is not None
+            train_span.set_attribute("warm", warm)
+            train_span.set_attribute("num_labels", len(names))
+            telemetry.counter("models.warm_fits" if warm else "models.cold_fits").add(1)
+            model.fit(
+                features, names, initial_parameters=initial, standardization=standardization
+            )
+            return self.registry.register(
+                feature_name=feature_name,
+                model=model,
+                classes=self.vocabulary,
+                num_labels=len(names),
+                created_at=at_time,
+            )
 
     def train_if_possible(
         self,
@@ -480,6 +498,22 @@ class ModelManager:
         """
         if not len(self.labels):
             raise InsufficientLabelsError("no labels collected yet")
+        with telemetry.span(
+            "cross_validate",
+            "models",
+            metric="models.cross_validate_seconds",
+            feature=feature_name,
+            num_folds=num_folds,
+        ):
+            return self._cross_validate_impl(feature_name, num_folds, min_labels_per_class)
+
+    def _cross_validate_impl(
+        self,
+        feature_name: str,
+        num_folds: int,
+        min_labels_per_class: int,
+    ) -> CrossValidationResult:
+        """Span-free body of :meth:`cross_validate`."""
         if not self.config.warm_start:
             features, names = self.training_design(feature_name)
             with self._rng_lock:
@@ -498,6 +532,7 @@ class ModelManager:
             cached = self._cv_cache.get(feature_name)
             if cached is not None and cached[0] == key:
                 self.stats.cv_cache_hits += 1
+                telemetry.counter("models.cv_cache_hits").add(1)
                 return cached[1]
             # Append-stable fold assignment: old labels never change folds,
             # so (a) rounds at the same revision share folds exactly, which
@@ -527,4 +562,8 @@ class ModelManager:
             self.stats.cv_rounds += 1
             self.stats.cv_warm_folds += warm.warm_started_folds
             self.stats.cv_cold_folds += len(warm.fold_models) - warm.warm_started_folds
+            telemetry.counter("models.cv_warm_folds").add(warm.warm_started_folds)
+            telemetry.counter("models.cv_cold_folds").add(
+                len(warm.fold_models) - warm.warm_started_folds
+            )
             return warm.result

@@ -25,11 +25,13 @@ strategies (serial / VE-partial / VE-full) are engine-agnostic.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import TYPE_CHECKING, Callable
 
+from .. import telemetry
 from ..exceptions import SchedulerError
 from .clock import SimulatedClock
 from .tasks import CompletedTask, Task
@@ -48,6 +50,8 @@ __all__ = [
 
 #: Names accepted by :func:`build_engine` and ``SchedulerConfig.engine``.
 ENGINE_NAMES = ("simulated", "threads")
+
+logger = logging.getLogger(__name__)
 
 
 class WallClock:
@@ -149,9 +153,10 @@ class SimulatedEngine(ExecutionEngine):
     # ------------------------------------------------------------- foreground
     def run_foreground(self, scheduler: "TaskScheduler", task: Task) -> CompletedTask:
         """Consume the task's full duration on the simulated clock."""
-        task.work(task.remaining)
-        self.clock.advance(task.duration)
-        record = task.complete(self.clock.now)
+        with telemetry.task_scope(task, "foreground"):
+            task.work(task.remaining)
+            self.clock.advance(task.duration)
+            record = task.complete(self.clock.now)
         scheduler._log_completion(record)
         scheduler._record_visible(task.kind, task.duration)
         return record
@@ -194,17 +199,18 @@ class SimulatedEngine(ExecutionEngine):
                         break
 
             available = window_end - self.clock.now
-            used = task.work(available)
-            self.clock.advance(used)
-            scheduler._record_background(used)
-            if task.finished:
-                record = task.complete(self.clock.now)
-                scheduler._log_completion(record)
-                completed.append(record)
-            else:
-                # Out of window time: requeue with remaining work preserved.
-                scheduler._requeue(task)
-                break
+            with telemetry.task_scope(task, "window"):
+                used = task.work(available)
+                self.clock.advance(used)
+                scheduler._record_background(used, task.kind)
+                if task.finished:
+                    record = task.complete(self.clock.now)
+                    scheduler._log_completion(record)
+                    completed.append(record)
+                else:
+                    # Out of window time: requeue with remaining work preserved.
+                    scheduler._requeue(task)
+                    break
 
         self.clock.advance_to(window_end)
         return completed
@@ -221,17 +227,18 @@ class SimulatedEngine(ExecutionEngine):
                     break
                 self.clock.advance_to(next_time)
                 continue
-            used = task.work(min(task.remaining, budget))
-            budget -= used
-            self.clock.advance(used)
-            scheduler._record_visible(task.kind, used)
-            if task.finished:
-                record = task.complete(self.clock.now)
-                scheduler._log_completion(record)
-                completed.append(record)
-            else:
-                scheduler._requeue(task)
-                break
+            with telemetry.task_scope(task, "drain"):
+                used = task.work(min(task.remaining, budget))
+                budget -= used
+                self.clock.advance(used)
+                scheduler._record_visible(task.kind, used)
+                if task.finished:
+                    record = task.complete(self.clock.now)
+                    scheduler._log_completion(record)
+                    completed.append(record)
+                else:
+                    scheduler._requeue(task)
+                    break
         return completed
 
 
@@ -342,8 +349,9 @@ class ThreadPoolEngine(ExecutionEngine):
     def run_foreground(self, scheduler: "TaskScheduler", task: Task) -> CompletedTask:
         """Perform the task on the calling thread; visible latency is measured."""
         start = self.clock.now
-        self._perform(task, preemptible=False)
-        record = self._finish(scheduler, task)
+        with telemetry.task_scope(task, "foreground"):
+            self._perform(task, preemptible=False)
+            record = self._finish(scheduler, task)
         with self._lock:
             scheduler._record_visible(task.kind, self.clock.now - start)
         return record
@@ -359,13 +367,14 @@ class ThreadPoolEngine(ExecutionEngine):
         happens here on the worker, so it overlaps with other workers and
         never blocks the dispatcher loop.
         """
-        consumed = self._perform(task, preemptible=True)
-        with self._lock:
-            if self._charge_visible:
-                scheduler._record_visible(task.kind, consumed)
-            else:
-                scheduler._record_background(consumed)
-        record = self._finish(scheduler, task) if task.finished else None
+        with telemetry.task_scope(task, "drain" if self._charge_visible else "window"):
+            consumed = self._perform(task, preemptible=True)
+            with self._lock:
+                if self._charge_visible:
+                    scheduler._record_visible(task.kind, consumed)
+                else:
+                    scheduler._record_background(consumed, task.kind)
+            record = self._finish(scheduler, task) if task.finished else None
         return task, record
 
     def _dispatch_available(

@@ -26,15 +26,19 @@ walkthrough.
 from __future__ import annotations
 
 import heapq
+import logging
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .. import telemetry
 from ..exceptions import SchedulerError
 from .clock import SimulatedClock
 from .engine import ExecutionEngine, SimulatedEngine
 from .tasks import CompletedTask, Task
 
 __all__ = ["IterationLatency", "TaskScheduler"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -85,11 +89,19 @@ class TaskScheduler:
         self._iterations: list[IterationLatency] = []
         self._current: IterationLatency | None = None
         self._finalised = False
+        # Running total of visible latency over *closed* records (every
+        # record except the one currently open).  Charges only ever land on
+        # the open record, so folding a record in exactly once — when the
+        # next one opens — keeps cumulative_visible_latency() O(1) while
+        # staying bit-identical to the recomputed left-to-right sum.
+        self._closed_visible_total = 0.0
         self.idle_task_factory: Callable[[], Task | None] | None = None
 
     # ------------------------------------------------------------- iterations
     def begin_iteration(self, iteration: int) -> IterationLatency:
         """Start latency accounting for one Explore iteration."""
+        if self._current is not None:
+            self._closed_visible_total += self._current.visible_latency
         self._current = IterationLatency(iteration=iteration)
         self._iterations.append(self._current)
         self._finalised = False
@@ -129,8 +141,18 @@ class TaskScheduler:
         return list(self._iterations)
 
     def cumulative_visible_latency(self) -> float:
-        """Total user-visible latency across all iterations."""
-        return sum(record.visible_latency for record in self._iterations)
+        """Total user-visible latency across all iterations.
+
+        O(1): closed records are pre-summed into a running total as each new
+        record opens, and only the open record's latency is added on top.
+        The float-addition order matches a fresh left-to-right ``sum()`` over
+        the records exactly (a regression test pins the equality), so the
+        optimisation cannot shift experiment results by even one ulp.
+        """
+        total = self._closed_visible_total
+        if self._current is not None:
+            total += self._current.visible_latency
+        return total
 
     def completed_tasks(self) -> list[CompletedTask]:
         """Every completed task in completion order."""
@@ -220,20 +242,33 @@ class TaskScheduler:
     # The three helpers below are the only mutation points for latency
     # records; engines must route every charge through them so each unit of
     # window time lands in exactly one bucket of exactly one record.
-    def _record_background(self, duration: float) -> None:
-        """Charge background busy time to the open record."""
+    def _record_background(self, duration: float, kind: str | None = None) -> None:
+        """Charge background busy time to the open record.
+
+        ``kind`` attributes the charge to a task kind in the telemetry
+        metrics (engines pass the executed task's kind); the latency record
+        itself keeps its historical shape.
+        """
         if self._current is not None:
             self._current.background_time_used += duration
+        if telemetry.enabled():
+            telemetry.histogram(
+                "scheduler.background_seconds." + (kind if kind is not None else "unknown")
+            ).observe(duration)
 
     def _record_idle(self, duration: float) -> None:
         """Charge unused window capacity to the open record."""
         if self._current is not None and duration > 0:
             self._current.background_idle_time += duration
+            if telemetry.enabled():
+                telemetry.counter("scheduler.idle_seconds_total").add(duration)
 
     def _record_visible(self, kind: str, duration: float) -> None:
         """Charge user-visible time (drained background work) to the open record."""
         if self._current is not None:
             self._current.add_visible(kind, duration)
+        if telemetry.enabled():
+            telemetry.histogram("scheduler.visible_seconds." + kind).observe(duration)
 
     def _log_completion(self, record: CompletedTask) -> None:
         """Append one finished task to the completion log."""

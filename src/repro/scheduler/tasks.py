@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .. import telemetry
 from ..exceptions import TaskError
 
 __all__ = ["TaskKind", "TaskPriority", "Task", "CompletedTask"]
@@ -95,6 +96,12 @@ class Task:
     description: str = ""
     available_at: float = 0.0
     task_id: int = field(default_factory=lambda: next(_task_counter))
+    #: Span active when the task was created, captured so execution engines
+    #: can parent the task's span to the iteration that enqueued it — even
+    #: when the task later runs on a worker thread (or came from the
+    #: idle-task factory, which bypasses ``scheduler.submit``).  None while
+    #: telemetry is disabled.
+    trace_context: object | None = field(default=None, repr=False)
     remaining: float = field(init=False)
 
     def __post_init__(self) -> None:
@@ -104,6 +111,8 @@ class Task:
             raise TaskError(f"task duration must be >= 0, got {self.duration}")
         if self.priority is None:
             self.priority = TaskPriority.BY_KIND[self.kind]
+        if self.trace_context is None:
+            self.trace_context = telemetry.capture_context()
         self.remaining = float(self.duration)
 
     @property

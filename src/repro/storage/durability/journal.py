@@ -23,16 +23,20 @@ crash-injection harness asserts.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ... import telemetry
 from ...exceptions import StorageError
 from .faults import fault_point
 
 __all__ = ["JournalWriter", "JournalReadResult", "read_journal"]
+
+logger = logging.getLogger(__name__)
 
 
 def _frame(record: dict) -> bytes:
@@ -80,23 +84,31 @@ class JournalWriter:
                 return
             staged = b"".join(self._pending)
             label = f"journal:{self.path.name}"
-            if self._handle is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                if self.path.exists():
-                    # A previous process may have died mid-append; truncate
-                    # any torn final line so new records start at a clean
-                    # record boundary instead of merging with the fragment
-                    # into one bad-CRC line that would poison the segment.
-                    read_journal(self.path, repair=True)
-                self._handle = open(self.path, "ab")
-            fault_point(f"write:{label}")
-            self._handle.write(staged)
-            self._handle.flush()
-            fault_point(f"fsync:{label}")
-            # fdatasync: flushes the data and the metadata needed to read it
-            # back (the file size), skipping timestamp updates — the standard
-            # WAL commit primitive.
-            os.fdatasync(self._handle.fileno())
+            with telemetry.span(
+                "journal_commit",
+                "durability",
+                metric="durability.fsync_seconds",
+                records=len(self._pending),
+                bytes=len(staged),
+            ):
+                if self._handle is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    if self.path.exists():
+                        # A previous process may have died mid-append; truncate
+                        # any torn final line so new records start at a clean
+                        # record boundary instead of merging with the fragment
+                        # into one bad-CRC line that would poison the segment.
+                        read_journal(self.path, repair=True)
+                    self._handle = open(self.path, "ab")
+                fault_point(f"write:{label}")
+                self._handle.write(staged)
+                self._handle.flush()
+                fault_point(f"fsync:{label}")
+                # fdatasync: flushes the data and the metadata needed to read
+                # it back (the file size), skipping timestamp updates — the
+                # standard WAL commit primitive.
+                os.fdatasync(self._handle.fileno())
+                telemetry.counter("durability.journal_commits").add(1)
             # Drain only after the records are on stable storage: a commit
             # that failed with a transient I/O error stays retryable instead
             # of silently dropping acknowledged writes (replay is idempotent,

@@ -17,10 +17,12 @@ snapshot publishes, keeping the directory bounded.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from ... import telemetry
 from .journal import JournalReadResult, JournalWriter, read_journal
 from .snapshot import (
     gc_generations,
@@ -31,6 +33,8 @@ from .snapshot import (
 )
 
 __all__ = ["CheckpointManager", "RecoveredState"]
+
+logger = logging.getLogger(__name__)
 
 
 def _journal_name(generation: int) -> str:
@@ -125,7 +129,15 @@ class CheckpointManager:
         current = self._resolve_generation()
         published = list_generations(self.directory)
         generation = (published[-1] if published else current) + 1
-        write_snapshot(self.directory, generation, writer)
+        with telemetry.span(
+            "snapshot",
+            "durability",
+            metric="durability.snapshot_seconds",
+            generation=generation,
+        ):
+            write_snapshot(self.directory, generation, writer)
+        telemetry.counter("durability.snapshots").add(1)
+        logger.debug("published snapshot generation %d", generation)
         if self._journal is not None:
             self._journal.close()
         self._generation = generation

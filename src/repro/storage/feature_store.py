@@ -30,18 +30,22 @@ preserved across a save/load roundtrip via the manifest.
 from __future__ import annotations
 
 import json
+import logging
 import zipfile
 from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..exceptions import MissingFeatureError, StorageError
 from ..index import VectorIndex, build_index
 from ..types import ClipSpec, FeatureVector
 from .durability.codec import encode_array
 
 __all__ = ["FeatureStore"]
+
+logger = logging.getLogger(__name__)
 
 _INITIAL_CAPACITY = 16
 
@@ -722,7 +726,20 @@ class FeatureStore:
         """
         shard = self._shard(fid)
         rows_before = shard._vindex_rows
-        result = shard.search(queries, k)
+        with telemetry.span(
+            "search",
+            "index",
+            metric="index.search_seconds",
+            fid=fid,
+            backend=shard.index_backend,
+            k=k,
+        ) as span:
+            result = shard.search(queries, k)
+            candidates = int((result[1] >= 0).sum())
+            span.set_attribute("candidates", candidates)
+            telemetry.histogram(
+                "index.search_candidates", buckets=telemetry.COUNT_BUCKETS
+            ).observe(candidates)
         if self.journal_sink is not None and shard._vindex_rows != rows_before:
             # Write-sync event: the lazily built index folded appended rows in.
             self.journal_sink(

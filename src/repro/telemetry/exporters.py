@@ -1,0 +1,289 @@
+"""Trace exporters: JSONL sink, Chrome trace-event file, human run report.
+
+Three consumers of the same span/record stream:
+
+* :class:`JsonlTraceSink` — one JSON object per line (spans, per-iteration
+  latency records, SLO verdicts), the machine-readable ground truth.
+* :class:`ChromeTraceSink` — a ``chrome://tracing`` / Perfetto-loadable
+  trace-event JSON file: spans become complete (``"X"``) events with
+  microsecond timestamps, SLO violations become instant (``"i"``) events.
+* :func:`render_report` — the human ``RunReport`` table summarising the
+  metrics snapshot and SLO accounting (also served by the CLI ``report``
+  subcommand via :func:`load_run`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+__all__ = ["JsonlTraceSink", "ChromeTraceSink", "MemorySink", "render_report", "load_run"]
+
+
+class JsonlTraceSink:
+    """Appends every span and record as one JSON line to a file."""
+
+    def __init__(self, path: str | Path) -> None:
+        """Create the sink; the file is opened lazily on first write."""
+        self.path = Path(path)
+        self._handle = None
+        self._lock = threading.Lock()
+
+    def _write(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+
+    def write_span(self, record: dict) -> None:
+        """Append one finished-span record."""
+        self._write(record)
+
+    def write_record(self, record: dict) -> None:
+        """Append one non-span record (iteration latency, SLO verdict)."""
+        self._write(record)
+
+    def close(self) -> None:
+        """Flush and close the file handle (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class ChromeTraceSink:
+    """Buffers spans as Chrome trace events; writes the file on close.
+
+    The output loads directly in ``chrome://tracing`` or Perfetto: every
+    span is a complete event (``ph="X"``) whose ``pid`` is the process, whose
+    ``tid`` is the emitting thread, and whose ``cat`` is the subsystem
+    category — so the trace viewer groups scheduler, features, models, index,
+    durability, and session work onto separate tracks.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        """Create the sink; events accumulate in memory until :meth:`close`."""
+        self.path = Path(path)
+        self._events: list[dict] = []
+        self._threads: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def _tid(self, thread_name: str) -> int:
+        tid = self._threads.get(thread_name)
+        if tid is None:
+            tid = self._threads[thread_name] = len(self._threads) + 1
+            self._events.append(
+                {
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": thread_name},
+                }
+            )
+        return tid
+
+    def write_span(self, record: dict) -> None:
+        """Convert one finished span into a complete ("X") trace event."""
+        with self._lock:
+            self._events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": self._tid(record.get("thread", "main")),
+                    "name": record["name"],
+                    "cat": record["cat"],
+                    "ts": record["ts"] * 1e6,
+                    "dur": record["dur"] * 1e6,
+                    "args": dict(record.get("attrs") or {}, span_id=record["id"], parent=record["parent"]),
+                }
+            )
+
+    def write_record(self, record: dict) -> None:
+        """Mark SLO violations as instant ("i") events; ignore other records."""
+        if record.get("type") == "slo" and record.get("violated"):
+            with self._lock:
+                self._events.append(
+                    {
+                        "ph": "i",
+                        "pid": 1,
+                        "tid": self._tid("main"),
+                        "name": f"SLO violation (iteration {record['iteration']})",
+                        "cat": "slo",
+                        "ts": 0,
+                        "s": "g",
+                        "args": {
+                            "visible_latency_s": record["visible_latency_s"],
+                            "budget_s": record["budget_s"],
+                        },
+                    }
+                )
+
+    def close(self) -> None:
+        """Write the buffered events as one trace-event JSON file."""
+        with self._lock:
+            events = list(self._events)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+        self.path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+class MemorySink:
+    """Keeps spans and records in lists; used by tests and the report path."""
+
+    def __init__(self) -> None:
+        """Create an empty in-memory sink."""
+        self.spans: list[dict] = []
+        self.records: list[dict] = []
+        self._lock = threading.Lock()
+
+    def write_span(self, record: dict) -> None:
+        """Store one finished-span record."""
+        with self._lock:
+            self.spans.append(record)
+
+    def write_record(self, record: dict) -> None:
+        """Store one non-span record."""
+        with self._lock:
+            self.records.append(record)
+
+    def close(self) -> None:
+        """No resources to release."""
+
+
+# ----------------------------------------------------------------- run report
+def _format_rows(rows: list[list[str]], header: list[str]) -> list[str]:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(header)).rstrip()]
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+    return lines
+
+
+def render_report(metrics_snapshot: dict, slo_summary: dict | None = None, label: str = "run") -> str:
+    """Render the human ``RunReport``: metrics tables plus SLO accounting."""
+    lines = [f"== telemetry report: {label} =="]
+
+    counters = metrics_snapshot.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        rows = [[name, f"{value:g}"] for name, value in counters.items()]
+        lines.extend("  " + line for line in _format_rows(rows, ["name", "value"]))
+
+    gauges = metrics_snapshot.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        rows = [[name, f"{value:g}"] for name, value in gauges.items()]
+        lines.extend("  " + line for line in _format_rows(rows, ["name", "value"]))
+
+    histograms = metrics_snapshot.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("histograms (seconds unless noted):")
+        rows = [
+            [
+                name,
+                str(summary["count"]),
+                f"{summary['sum']:.4g}",
+                f"{summary['p50']:.4g}",
+                f"{summary['p95']:.4g}",
+                f"{summary['p99']:.4g}",
+                f"{summary['max']:.4g}",
+            ]
+            for name, summary in histograms.items()
+        ]
+        lines.extend(
+            "  " + line
+            for line in _format_rows(rows, ["name", "count", "sum", "p50", "p95", "p99", "max"])
+        )
+
+    if slo_summary is not None and slo_summary.get("iterations"):
+        budget = slo_summary.get("budget_s")
+        lines.append("")
+        if budget is not None:
+            lines.append(f"SLO (visible-latency budget {budget:g} s per iteration):")
+        else:
+            lines.append("per-iteration visible latency (no SLO budget declared):")
+        iterations = slo_summary["iterations"]
+        violations = slo_summary.get("violations", 0)
+        lines.append(
+            f"  iterations: {iterations}   violations: {violations}"
+            + (f" ({100.0 * violations / iterations:.1f}%)" if budget is not None else "")
+        )
+        worst = slo_summary.get("worst")
+        if worst is not None:
+            over = f" (+{worst['overshoot_s']:.2f} s over budget)" if worst["violated"] else ""
+            lines.append(
+                f"  worst: iteration {worst['iteration']} at "
+                f"{worst['visible_latency_s']:.2f} s visible{over}"
+            )
+        rows = [
+            [
+                str(verdict["iteration"]),
+                f"{verdict['visible_latency_s']:.3f}",
+                ("VIOLATED" if verdict["violated"] else "ok") if budget is not None else "-",
+            ]
+            for verdict in slo_summary.get("per_iteration", [])
+        ]
+        if rows:
+            lines.extend(
+                "  " + line for line in _format_rows(rows, ["iteration", "visible_s", "verdict"])
+            )
+    return "\n".join(lines)
+
+
+def load_run(trace_dir: str | Path) -> dict:
+    """Load a finished run's artifacts from its trace directory.
+
+    Reads ``metrics.json`` (written by ``TelemetryRun.close``); when absent,
+    falls back to reconstructing the SLO roll-up from the ``trace.jsonl``
+    records, so a crashed run still produces a report.  Returns a dict with
+    ``label``, ``metrics``, and ``slo`` keys.
+
+    Raises:
+        FileNotFoundError: when the directory holds no telemetry artifacts.
+    """
+    trace_dir = Path(trace_dir)
+    metrics_path = trace_dir / "metrics.json"
+    if metrics_path.exists():
+        return json.loads(metrics_path.read_text(encoding="utf-8"))
+
+    jsonl_path = trace_dir / "trace.jsonl"
+    if not jsonl_path.exists():
+        raise FileNotFoundError(
+            f"no telemetry artifacts in {trace_dir} (expected metrics.json or trace.jsonl)"
+        )
+    verdicts = []
+    budget = None
+    with open(jsonl_path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "slo":
+                verdicts.append(record)
+                budget = record.get("budget_s", budget)
+    return {
+        "label": trace_dir.name,
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "slo": {
+            "budget_s": budget,
+            "iterations": len(verdicts),
+            "violations": sum(1 for verdict in verdicts if verdict.get("violated")),
+            "total_visible_s": sum(verdict.get("visible_latency_s", 0.0) for verdict in verdicts),
+            "worst": max(verdicts, key=lambda verdict: verdict.get("visible_latency_s", 0.0))
+            if verdicts
+            else None,
+            "per_iteration": verdicts,
+        },
+    }

@@ -1,0 +1,160 @@
+"""Telemetry run lifecycle and process-global state.
+
+A :class:`TelemetryRun` bundles one tracer, one metrics registry, one SLO
+accountant, and the trace sinks for a single instrumented run (usually one
+``ExplorationSession``).  At most one run is active per process — the
+instrumented call sites all route through the module facade
+(:mod:`repro.telemetry`), which resolves against the active run, so two
+concurrent runs would interleave their spans.  :func:`start_run` therefore
+raises :class:`~repro.exceptions.TelemetryError` when a run is already
+active; :func:`shutdown` force-closes whatever is active (used by test
+teardown).
+
+Closing a run flushes the sinks and, when a trace directory is configured,
+writes ``metrics.json`` (metrics snapshot + SLO roll-up) next to
+``trace.jsonl`` and ``chrome_trace.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..exceptions import TelemetryError
+from .exporters import ChromeTraceSink, JsonlTraceSink, render_report
+from .metrics import MetricsRegistry
+from .slo import SLOAccountant
+from .tracing import Tracer
+
+__all__ = ["TelemetryRun", "start_run", "active_run", "shutdown"]
+
+#: File names written into a run's trace directory.
+TRACE_JSONL = "trace.jsonl"
+CHROME_TRACE = "chrome_trace.json"
+METRICS_JSON = "metrics.json"
+
+
+class TelemetryRun:
+    """All telemetry state for one instrumented run."""
+
+    def __init__(
+        self,
+        trace_dir: str | Path | None = None,
+        slo_budget_s: float | None = None,
+        label: str = "run",
+        extra_sinks: tuple = (),
+    ) -> None:
+        """Assemble tracer, metrics, SLO accountant, and sinks.
+
+        Args:
+            trace_dir: Directory for ``trace.jsonl`` / ``chrome_trace.json`` /
+                ``metrics.json``; None keeps the run in-memory only.
+            slo_budget_s: Per-iteration visible-latency budget (None disables
+                budget verdicts while still recording latency).
+            label: Human name shown in the run report.
+            extra_sinks: Additional sink objects (``write_span`` /
+                ``write_record`` / ``close``), e.g. a ``MemorySink`` in tests.
+        """
+        self.label = label
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.slo = SLOAccountant(slo_budget_s)
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self._sinks: list = []
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            self._sinks.append(JsonlTraceSink(self.trace_dir / TRACE_JSONL))
+            self._sinks.append(ChromeTraceSink(self.trace_dir / CHROME_TRACE))
+        self._sinks.extend(extra_sinks)
+        for sink in self._sinks:
+            self.tracer.add_sink(sink)
+        self._closed = False
+
+    # ----------------------------------------------------------------- records
+    def emit(self, record: dict) -> None:
+        """Write one non-span record (must carry a ``type`` key) to all sinks."""
+        for sink in self._sinks:
+            sink.write_record(record)
+
+    def record_iteration(self, latency_record) -> None:
+        """Fold one finished iteration into SLO accounting, sinks, and metrics."""
+        verdict = self.slo.record(latency_record)
+        self.emit(verdict.to_record())
+        self.metrics.histogram("session.visible_latency_s").observe(verdict.visible_latency)
+        self.metrics.counter("session.iterations").add(1)
+        if verdict.violated:
+            self.metrics.counter("session.slo_violations").add(1)
+
+    # ------------------------------------------------------------------ report
+    def report(self) -> str:
+        """The human ``RunReport`` for the current state of the run."""
+        return render_report(self.metrics.snapshot(), self.slo.summary(), label=self.label)
+
+    # ---------------------------------------------------------------- lifecycle
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Finish the run: persist metrics, flush sinks, release global state.
+
+        Idempotent.  With a trace directory configured, writes
+        ``metrics.json`` holding the metrics snapshot and SLO roll-up.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.trace_dir is not None:
+            payload = {
+                "label": self.label,
+                "metrics": self.metrics.snapshot(),
+                "slo": self.slo.summary(),
+            }
+            (self.trace_dir / METRICS_JSON).write_text(
+                json.dumps(payload, indent=2), encoding="utf-8"
+            )
+        for sink in self._sinks:
+            sink.close()
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = None
+
+
+_ACTIVE: TelemetryRun | None = None
+
+
+def active_run() -> TelemetryRun | None:
+    """The process's active telemetry run, or None when disabled."""
+    return _ACTIVE
+
+
+def start_run(
+    trace_dir: str | Path | None = None,
+    slo_budget_s: float | None = None,
+    label: str = "run",
+    extra_sinks: tuple = (),
+) -> TelemetryRun:
+    """Activate a new telemetry run (see :class:`TelemetryRun` for arguments).
+
+    Raises:
+        TelemetryError: when another run is already active — close it first
+            (one run per process keeps span streams from interleaving).
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise TelemetryError(
+            "a telemetry run is already active; close it before starting another"
+        )
+    run = TelemetryRun(
+        trace_dir=trace_dir, slo_budget_s=slo_budget_s, label=label, extra_sinks=extra_sinks
+    )
+    _ACTIVE = run
+    return run
+
+
+def shutdown() -> None:
+    """Force-close the active run, if any (safe to call when none is)."""
+    run = _ACTIVE
+    if run is not None:
+        run.close()

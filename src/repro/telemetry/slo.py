@@ -1,0 +1,121 @@
+"""Per-iteration SLO accounting over the scheduler's latency records.
+
+The paper's north-star metric is user-visible latency per Explore iteration
+(T_s); everything else is background work hidden behind the labeling window.
+:class:`SLOAccountant` folds the scheduler's ``IterationLatency`` records
+into a declared budget (``TelemetryConfig.visible_latency_slo_s``): each
+finished iteration produces an :class:`IterationSLO` verdict, violations are
+counted, and the worst offender is tracked for the run report.
+
+The accountant is duck-typed over the latency record (``iteration``,
+``visible_latency``, ``background_time_used``, ``visible_by_kind``) so the
+telemetry package never imports the scheduler — avoiding an import cycle,
+since the scheduler itself is instrumented through the telemetry facade.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["IterationSLO", "SLOAccountant"]
+
+
+@dataclass(frozen=True)
+class IterationSLO:
+    """Budget verdict for one Explore iteration."""
+
+    #: Iteration number the verdict belongs to.
+    iteration: int
+    #: User-visible latency charged to the iteration (cost-model seconds).
+    visible_latency: float
+    #: Declared budget, or None when no SLO was configured.
+    budget: float | None
+    #: True when a budget exists and the iteration exceeded it.
+    violated: bool
+    #: Seconds over budget (0.0 when within budget or unbudgeted).
+    overshoot: float
+    #: Visible latency split by task kind.
+    visible_by_kind: dict[str, float] = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        """JSON-serialisable form written to the trace sinks."""
+        return {
+            "type": "slo",
+            "iteration": self.iteration,
+            "visible_latency_s": self.visible_latency,
+            "budget_s": self.budget,
+            "violated": self.violated,
+            "overshoot_s": self.overshoot,
+            "visible_by_kind": dict(self.visible_by_kind),
+        }
+
+
+class SLOAccountant:
+    """Accumulates per-iteration budget verdicts for one telemetry run."""
+
+    def __init__(self, budget_s: float | None = None) -> None:
+        """Create an accountant; ``budget_s`` is the per-iteration visible
+        budget in cost-model seconds (None records latency without verdicts).
+        """
+        if budget_s is not None and budget_s <= 0:
+            raise ValueError(f"visible-latency budget must be > 0, got {budget_s}")
+        self.budget_s = budget_s
+        self._results: list[IterationSLO] = []
+        self._lock = threading.Lock()
+
+    def record(self, latency_record) -> IterationSLO:
+        """Fold one scheduler ``IterationLatency`` into the accounting."""
+        visible = float(latency_record.visible_latency)
+        overshoot = 0.0
+        violated = False
+        if self.budget_s is not None and visible > self.budget_s:
+            violated = True
+            overshoot = visible - self.budget_s
+        verdict = IterationSLO(
+            iteration=int(latency_record.iteration),
+            visible_latency=visible,
+            budget=self.budget_s,
+            violated=violated,
+            overshoot=overshoot,
+            visible_by_kind=dict(latency_record.visible_by_kind),
+        )
+        with self._lock:
+            self._results.append(verdict)
+        return verdict
+
+    # ------------------------------------------------------------------ queries
+    def results(self) -> list[IterationSLO]:
+        """Every verdict recorded so far, in iteration order."""
+        with self._lock:
+            return list(self._results)
+
+    @property
+    def iterations(self) -> int:
+        """Iterations accounted so far."""
+        return len(self._results)
+
+    @property
+    def violations(self) -> int:
+        """Iterations that exceeded the budget."""
+        return sum(1 for verdict in self._results if verdict.violated)
+
+    def worst(self) -> IterationSLO | None:
+        """The iteration with the highest visible latency (None when empty)."""
+        with self._lock:
+            if not self._results:
+                return None
+            return max(self._results, key=lambda verdict: verdict.visible_latency)
+
+    def summary(self) -> dict:
+        """JSON-serialisable roll-up for the run report and metrics file."""
+        results = self.results()
+        worst = self.worst()
+        return {
+            "budget_s": self.budget_s,
+            "iterations": len(results),
+            "violations": sum(1 for verdict in results if verdict.violated),
+            "total_visible_s": sum(verdict.visible_latency for verdict in results),
+            "worst": worst.to_record() if worst is not None else None,
+            "per_iteration": [verdict.to_record() for verdict in results],
+        }

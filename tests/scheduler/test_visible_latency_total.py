@@ -1,0 +1,70 @@
+"""Regression tests for the O(1) cumulative visible-latency running total.
+
+``cumulative_visible_latency`` used to recompute ``sum()`` over every record
+on each call; it now maintains a running total of closed records.  Float
+addition is not associative, so the test pins *bit-exact* equality (``==``,
+no tolerance) against the recomputed left-to-right sum at every step — the
+optimisation must not shift experiment results by even one ulp.
+"""
+
+import random
+
+from repro.scheduler.scheduler import TaskScheduler
+from repro.scheduler.tasks import Task, TaskKind
+
+
+def recomputed(scheduler):
+    """The old implementation: fresh left-to-right sum over all records."""
+    return sum(record.visible_latency for record in scheduler.iteration_records())
+
+
+class TestRunningTotal:
+    def test_bit_exact_against_recomputed_sum(self):
+        """Property test: random foreground charges over many iterations; the
+        running total must equal the recomputed sum exactly after every
+        mutation point."""
+        rng = random.Random(123)
+        scheduler = TaskScheduler()
+        for iteration in range(1, 40):
+            scheduler.begin_iteration(iteration)
+            assert scheduler.cumulative_visible_latency() == recomputed(scheduler)
+            for _ in range(rng.randint(0, 4)):
+                # Irrational-ish durations maximise float rounding exposure.
+                scheduler.run_foreground(
+                    Task(kind=TaskKind.SAMPLE_SELECTION, duration=rng.uniform(0.0, 3.0) / 3.0)
+                )
+                assert scheduler.cumulative_visible_latency() == recomputed(scheduler)
+            scheduler.close_iteration()
+        assert scheduler.cumulative_visible_latency() == recomputed(scheduler)
+
+    def test_overflow_records_fold_in_exactly_once(self):
+        """Foreground work after close_iteration opens an overflow record;
+        the total must still match the recomputed sum bit-exactly."""
+        scheduler = TaskScheduler()
+        scheduler.begin_iteration(1)
+        scheduler.run_foreground(Task(kind=TaskKind.SAMPLE_SELECTION, duration=1.0 / 3.0))
+        scheduler.close_iteration()
+        # Post-close work (a watch/search between Explore calls).
+        scheduler.run_foreground(Task(kind=TaskKind.VECTOR_SEARCH, duration=2.0 / 7.0))
+        scheduler.begin_iteration(2)
+        scheduler.run_foreground(Task(kind=TaskKind.SAMPLE_SELECTION, duration=1.0 / 9.0))
+        assert len(scheduler.iteration_records()) == 3
+        assert scheduler.cumulative_visible_latency() == recomputed(scheduler)
+
+    def test_empty_and_single_record(self):
+        scheduler = TaskScheduler()
+        assert scheduler.cumulative_visible_latency() == 0.0
+        scheduler.begin_iteration(1)
+        assert scheduler.cumulative_visible_latency() == 0.0
+        scheduler.run_foreground(Task(kind=TaskKind.SAMPLE_SELECTION, duration=0.7))
+        assert scheduler.cumulative_visible_latency() == recomputed(scheduler)
+
+    def test_drained_background_counts_as_visible(self):
+        scheduler = TaskScheduler()
+        scheduler.begin_iteration(1)
+        scheduler.submit(Task(kind=TaskKind.MODEL_TRAINING, duration=1.0 / 3.0))
+        scheduler.submit(Task(kind=TaskKind.FEATURE_EXTRACTION, duration=1.0 / 7.0))
+        scheduler.drain()
+        scheduler.begin_iteration(2)
+        scheduler.run_foreground(Task(kind=TaskKind.SAMPLE_SELECTION, duration=1.0 / 11.0))
+        assert scheduler.cumulative_visible_latency() == recomputed(scheduler)

@@ -1,0 +1,16 @@
+"""Shared fixtures for the telemetry tests."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_isolation():
+    """Force-close any active telemetry run after each test.
+
+    ``start_run`` allows one run per process; a test that fails mid-run must
+    not poison the rest of the suite.
+    """
+    yield
+    telemetry.shutdown()

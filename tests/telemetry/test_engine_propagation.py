@@ -1,0 +1,131 @@
+"""Span propagation across execution engines.
+
+The property under test: every ``task:<kind>`` span — no matter which worker
+thread executes it, or how many windows later — parents to the span that was
+active when the task was *created*.  Tasks capture their trace context in
+``Task.__post_init__`` and the engines re-activate it through
+``telemetry.task_scope``, so background work nests under the iteration that
+enqueued it.
+"""
+
+import random
+
+import pytest
+
+from repro import telemetry
+from repro.scheduler.engine import ThreadPoolEngine
+from repro.scheduler.scheduler import TaskScheduler
+from repro.scheduler.tasks import Task, TaskKind
+
+SCALE = 2e-3  # cost-model seconds -> wall seconds
+
+
+@pytest.fixture
+def sink():
+    sink = telemetry.MemorySink()
+    telemetry.start_run(extra_sinks=(sink,))
+    return sink
+
+
+def task_spans(sink):
+    return [record for record in sink.spans if record["name"].startswith("task:")]
+
+
+class TestThreadPoolPropagation:
+    def test_task_spans_parent_to_enqueueing_iteration(self, sink):
+        """Property test: random task batches over several iterations; every
+        execution slice of every task must parent to its iteration's span."""
+        rng = random.Random(7)
+        engine = ThreadPoolEngine(num_workers=2, time_scale=SCALE, checkpoint_interval=0.25)
+        scheduler = TaskScheduler(engine=engine)
+        expected = {}  # task_id -> span id of the iteration that enqueued it
+        try:
+            for iteration in range(1, 5):
+                scheduler.begin_iteration(iteration)
+                span = telemetry.start_span("iteration", "session", iteration=iteration)
+                for _ in range(rng.randint(1, 4)):
+                    task = Task(
+                        kind=TaskKind.FEATURE_EXTRACTION,
+                        duration=rng.uniform(0.2, 1.5),
+                    )
+                    expected[task.task_id] = span.span_id
+                    scheduler.submit(task)
+                # Short windows: long tasks are preempted and finish only in a
+                # LATER iteration's window, which is exactly the case where
+                # implicit (thread-local) context would mis-parent them.
+                scheduler.run_background_window(1.0)
+                scheduler.close_iteration()
+                span.end()
+            scheduler.drain()
+        finally:
+            scheduler.shutdown()
+
+        executed = task_spans(sink)
+        assert len(executed) >= len(expected)
+        for record in executed:
+            task_id = record["attrs"]["task_id"]
+            assert record["parent"] == expected[task_id], (
+                f"task {task_id} slice ({record['attrs']['phase']}) parented to "
+                f"{record['parent']}, expected iteration span {expected[task_id]}"
+            )
+
+    def test_slices_run_on_worker_threads(self, sink):
+        engine = ThreadPoolEngine(num_workers=2, time_scale=SCALE, checkpoint_interval=0.25)
+        scheduler = TaskScheduler(engine=engine)
+        try:
+            scheduler.begin_iteration(1)
+            span = telemetry.start_span("iteration", "session")
+            for _ in range(3):
+                scheduler.submit(Task(kind=TaskKind.FEATURE_EXTRACTION, duration=0.5))
+            scheduler.run_background_window(4.0)
+            span.end()
+        finally:
+            scheduler.shutdown()
+        executed = task_spans(sink)
+        assert executed
+        # The window slices execute on pool workers, not the dispatcher.
+        assert all(record["thread"] != "MainThread" for record in executed)
+        # ...and still parent to the main thread's iteration span.
+        assert {record["parent"] for record in executed} == {span.span_id}
+
+    def test_worker_context_does_not_leak_between_tasks(self, sink):
+        """A task created with no active span must execute with a None parent
+        even when the worker previously ran a context-carrying task."""
+        engine = ThreadPoolEngine(num_workers=1, time_scale=SCALE, checkpoint_interval=0.25)
+        scheduler = TaskScheduler(engine=engine)
+        try:
+            scheduler.begin_iteration(1)
+            with telemetry.span("iteration", "session"):
+                scheduler.submit(Task(kind=TaskKind.FEATURE_EXTRACTION, duration=0.3))
+            orphan = Task(kind=TaskKind.FEATURE_EXTRACTION, duration=0.3)
+            scheduler.submit(orphan)
+            scheduler.run_background_window(2.0)
+        finally:
+            scheduler.shutdown()
+        orphan_spans = [
+            record for record in task_spans(sink) if record["attrs"]["task_id"] == orphan.task_id
+        ]
+        assert orphan_spans
+        assert all(record["parent"] is None for record in orphan_spans)
+
+
+class TestSimulatedEnginePropagation:
+    def test_foreground_task_nests_under_active_span(self, sink):
+        scheduler = TaskScheduler()
+        scheduler.begin_iteration(1)
+        with telemetry.span("iteration", "session") as span:
+            scheduler.run_foreground(Task(kind=TaskKind.SAMPLE_SELECTION, duration=1.0))
+        (record,) = task_spans(sink)
+        assert record["name"] == "task:sample_selection"
+        assert record["cat"] == "scheduler"
+        assert record["parent"] == span.span_id
+        assert record["attrs"]["phase"] == "foreground"
+
+    def test_window_slices_carry_phase_and_remaining(self, sink):
+        scheduler = TaskScheduler()
+        scheduler.begin_iteration(1)
+        scheduler.submit(Task(kind=TaskKind.MODEL_TRAINING, duration=2.0))
+        scheduler.run_background_window(5.0)
+        (record,) = task_spans(sink)
+        assert record["attrs"]["phase"] == "window"
+        assert record["attrs"]["remaining"] == 2.0

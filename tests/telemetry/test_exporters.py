@@ -1,0 +1,178 @@
+"""Tests for the trace exporters and the run report."""
+
+import json
+
+import pytest
+
+from repro.telemetry.exporters import (
+    ChromeTraceSink,
+    JsonlTraceSink,
+    load_run,
+    render_report,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slo import SLOAccountant
+from repro.telemetry.tracing import Tracer
+
+
+def _span_record(name="work", cat="app", span_id=1, parent=None, thread="MainThread"):
+    return {
+        "type": "span",
+        "name": name,
+        "cat": cat,
+        "id": span_id,
+        "parent": parent,
+        "ts": 0.001,
+        "dur": 0.002,
+        "thread": thread,
+        "attrs": {"k": 1},
+    }
+
+
+def _slo_record(iteration=1, visible=12.0, budget=10.0, violated=True):
+    return {
+        "type": "slo",
+        "iteration": iteration,
+        "visible_latency_s": visible,
+        "budget_s": budget,
+        "violated": violated,
+        "overshoot_s": max(0.0, visible - budget),
+        "visible_by_kind": {},
+    }
+
+
+class TestJsonlTraceSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.write_span(_span_record())
+        sink.write_record(_slo_record())
+        sink.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["type"] for r in records] == ["span", "slo"]
+        assert records[0]["name"] == "work"
+        assert records[1]["violated"] is True
+
+    def test_lazy_open_writes_nothing_when_unused(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        JsonlTraceSink(path).close()
+        assert not path.exists()
+
+    def test_integration_with_tracer(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path)
+        tracer = Tracer()
+        tracer.add_sink(sink)
+        with tracer.span("outer", "app"):
+            with tracer.span("inner", "app"):
+                pass
+        sink.close()
+        names = [json.loads(line)["name"] for line in path.read_text().splitlines()]
+        # Spans are reported at end time: inner finishes first.
+        assert names == ["inner", "outer"]
+
+
+class TestChromeTraceSink:
+    def test_structure(self, tmp_path):
+        path = tmp_path / "chrome_trace.json"
+        sink = ChromeTraceSink(path)
+        sink.write_span(_span_record(thread="worker-0"))
+        sink.write_record(_slo_record())
+        sink.close()
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        phases = [event["ph"] for event in doc["traceEvents"]]
+        # Two thread_name metadata events: worker-0 (span) and main (SLO mark).
+        assert phases.count("M") == 2
+        assert phases.count("X") == 1
+        assert phases.count("i") == 1
+        complete = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert complete["ts"] == pytest.approx(0.001 * 1e6)
+        assert complete["dur"] == pytest.approx(0.002 * 1e6)
+        assert complete["cat"] == "app"
+        assert complete["args"]["span_id"] == 1
+
+    def test_within_budget_slo_not_marked(self, tmp_path):
+        path = tmp_path / "chrome_trace.json"
+        sink = ChromeTraceSink(path)
+        sink.write_record(_slo_record(violated=False, visible=1.0))
+        sink.close()
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"] == []
+
+    def test_threads_get_distinct_tids(self, tmp_path):
+        path = tmp_path / "chrome_trace.json"
+        sink = ChromeTraceSink(path)
+        sink.write_span(_span_record(span_id=1, thread="MainThread"))
+        sink.write_span(_span_record(span_id=2, thread="worker-0"))
+        sink.close()
+        doc = json.loads(path.read_text())
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert len(tids) == 2
+
+
+class TestRenderReport:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("models.warm_fits").add(3)
+        registry.gauge("queue.depth").set(2)
+        registry.histogram("index.search_seconds").observe(0.004)
+        return registry.snapshot()
+
+    def test_metrics_tables(self):
+        report = render_report(self._snapshot(), None, label="unit")
+        assert "== telemetry report: unit ==" in report
+        assert "models.warm_fits" in report
+        assert "queue.depth" in report
+        assert "index.search_seconds" in report
+
+    def test_slo_section_shows_violations(self):
+        accountant = SLOAccountant(budget_s=5.0)
+        accountant.record(_FakeLatency(1, 3.0))
+        accountant.record(_FakeLatency(2, 8.0))
+        report = render_report(self._snapshot(), accountant.summary())
+        assert "SLO (visible-latency budget 5 s per iteration):" in report
+        assert "violations: 1" in report
+        assert "VIOLATED" in report
+        assert "worst: iteration 2" in report
+
+    def test_no_budget_shows_latency_without_verdicts(self):
+        accountant = SLOAccountant(budget_s=None)
+        accountant.record(_FakeLatency(1, 3.0))
+        report = render_report({}, accountant.summary())
+        assert "no SLO budget declared" in report
+        assert "VIOLATED" not in report
+
+
+class _FakeLatency:
+    """Duck-typed stand-in for the scheduler's IterationLatency."""
+
+    def __init__(self, iteration, visible):
+        self.iteration = iteration
+        self.visible_latency = visible
+        self.visible_by_kind = {"sample_selection": visible}
+
+
+class TestLoadRun:
+    def test_prefers_metrics_json(self, tmp_path):
+        (tmp_path / "metrics.json").write_text(
+            json.dumps({"label": "x", "metrics": {"counters": {}}, "slo": None})
+        )
+        doc = load_run(tmp_path)
+        assert doc["label"] == "x"
+
+    def test_falls_back_to_jsonl(self, tmp_path):
+        lines = [
+            json.dumps(_span_record()),
+            json.dumps(_slo_record(iteration=1, visible=12.0)),
+            json.dumps(_slo_record(iteration=2, visible=4.0, violated=False)),
+        ]
+        (tmp_path / "trace.jsonl").write_text("\n".join(lines) + "\n")
+        doc = load_run(tmp_path)
+        assert doc["slo"]["iterations"] == 2
+        assert doc["slo"]["violations"] == 1
+        assert doc["slo"]["worst"]["iteration"] == 1
+
+    def test_missing_artifacts_raise(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_run(tmp_path)

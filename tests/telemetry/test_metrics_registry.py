@@ -1,0 +1,124 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (
+    COUNT_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("events")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_thread_safety(self):
+        counter = Counter("events")
+
+        def bump():
+            for _ in range(1000):
+                counter.add(1)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("depth")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        histogram = Histogram("latency")
+        for value in (0.001, 0.01, 0.1):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(0.111)
+        assert summary["min"] == 0.001
+        assert summary["max"] == 0.1
+
+    def test_quantiles_ordered_and_clamped(self):
+        histogram = Histogram("latency")
+        for value in [0.001] * 90 + [0.5] * 10:
+            histogram.observe(value)
+        p50 = histogram.quantile(0.50)
+        p95 = histogram.quantile(0.95)
+        p99 = histogram.quantile(0.99)
+        assert p50 <= p95 <= p99
+        # Clamped to the observed range: p99 cannot exceed the true max.
+        assert 0.001 <= p50 <= 0.5
+        assert p99 <= 0.5
+
+    def test_median_roughly_central(self):
+        histogram = Histogram("latency")
+        for _ in range(100):
+            histogram.observe(0.02)
+        # All mass in one bucket: the median lands inside it.
+        assert 0.01 <= histogram.quantile(0.5) <= 0.025
+
+    def test_overflow_beyond_last_bucket(self):
+        histogram = Histogram("counts", buckets=COUNT_BUCKETS)
+        histogram.observe(1e9)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["max"] == 1e9
+
+    def test_empty_summary(self):
+        assert Histogram("empty").summary()["count"] == 0
+        assert Histogram("empty").quantile(0.99) == 0.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.histogram("x")
+
+    def test_snapshot_groups_and_sorts(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").add(2)
+        registry.counter("a.count").add(1)
+        registry.gauge("depth").set(7)
+        registry.histogram("latency").observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a.count", "b.count"]
+        assert snapshot["gauges"]["depth"] == 7.0
+        assert snapshot["histograms"]["latency"]["count"] == 1
+
+
+class TestNullInstruments:
+    def test_nulls_are_inert(self):
+        NULL_COUNTER.add(5)
+        NULL_GAUGE.set(5)
+        NULL_HISTOGRAM.observe(5)
+        assert NULL_COUNTER.value == 0.0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.summary()["count"] == 0

@@ -1,0 +1,110 @@
+"""Tests for the run lifecycle and the module facade."""
+
+import json
+import logging
+
+import pytest
+
+from repro import telemetry
+from repro.exceptions import TelemetryError
+from repro.scheduler.scheduler import IterationLatency
+
+
+class TestRunLifecycle:
+    def test_one_run_per_process(self, tmp_path):
+        telemetry.start_run()
+        with pytest.raises(TelemetryError, match="already active"):
+            telemetry.start_run()
+        telemetry.shutdown()
+        # After shutdown a new run can start.
+        run = telemetry.start_run()
+        assert telemetry.active_run() is run
+
+    def test_close_is_idempotent_and_releases_global(self):
+        run = telemetry.start_run()
+        run.close()
+        run.close()
+        assert telemetry.active_run() is None
+        assert run.closed
+
+    def test_close_writes_artifacts(self, tmp_path):
+        run = telemetry.start_run(trace_dir=tmp_path, slo_budget_s=5.0, label="unit")
+        with telemetry.span("work", "app"):
+            pass
+        record = IterationLatency(iteration=1)
+        record.add_visible("sample_selection", 8.0)
+        run.record_iteration(record)
+        run.close()
+
+        doc = json.loads((tmp_path / "metrics.json").read_text())
+        assert doc["label"] == "unit"
+        assert doc["metrics"]["counters"]["session.iterations"] == 1
+        assert doc["metrics"]["counters"]["session.slo_violations"] == 1
+        assert doc["slo"]["violations"] == 1
+
+        jsonl = [json.loads(line) for line in (tmp_path / "trace.jsonl").read_text().splitlines()]
+        types = {r["type"] for r in jsonl}
+        assert types == {"span", "slo"}
+        assert json.loads((tmp_path / "chrome_trace.json").read_text())["traceEvents"]
+
+    def test_record_iteration_feeds_metrics(self):
+        run = telemetry.start_run(slo_budget_s=100.0)
+        record = IterationLatency(iteration=1)
+        record.add_visible("sample_selection", 1.0)
+        run.record_iteration(record)
+        snapshot = run.metrics.snapshot()
+        assert snapshot["counters"]["session.iterations"] == 1
+        assert "session.slo_violations" not in snapshot["counters"]
+        assert snapshot["histograms"]["session.visible_latency_s"]["count"] == 1
+        assert "VIOLATED" not in run.report()
+
+
+class TestFacadeDisabled:
+    def test_null_objects_when_no_run(self):
+        assert not telemetry.enabled()
+        assert telemetry.span("x") is telemetry.NULL_SPAN
+        assert telemetry.start_span("x") is telemetry.NULL_SPAN
+        assert telemetry.current_span() is None
+        assert telemetry.capture_context() is None
+        assert telemetry.counter("c") is telemetry.NULL_COUNTER
+        assert telemetry.gauge("g") is telemetry.NULL_GAUGE
+        assert telemetry.histogram("h") is telemetry.NULL_HISTOGRAM
+        with telemetry.activate(None):
+            pass
+
+
+class TestFacadeEnabled:
+    def test_span_routes_to_active_run(self):
+        sink = telemetry.MemorySink()
+        run = telemetry.start_run(extra_sinks=(sink,))
+        assert telemetry.enabled()
+        with telemetry.span("outer", "app", answer=42) as outer:
+            assert telemetry.current_span() is outer
+            assert telemetry.capture_context() is outer
+        assert sink.spans[0]["attrs"] == {"answer": 42}
+        assert run.metrics.snapshot()["histograms"] == {}
+
+    def test_span_metric_feeds_named_histogram(self):
+        run = telemetry.start_run()
+        with telemetry.span("timed", "app", metric="app.seconds"):
+            pass
+        assert run.metrics.snapshot()["histograms"]["app.seconds"]["count"] == 1
+
+    def test_start_span_is_active_until_ended(self):
+        telemetry.start_run()
+        span = telemetry.start_span("iteration", "session")
+        assert telemetry.current_span() is span
+        span.end()
+        assert telemetry.current_span() is None
+
+
+class TestConfigureLogging:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            telemetry.configure_logging("chatty")
+
+    def test_sets_root_level(self):
+        telemetry.configure_logging("debug")
+        assert logging.getLogger().level == logging.DEBUG
+        telemetry.configure_logging("warning")
+        assert logging.getLogger().level == logging.WARNING

@@ -1,0 +1,119 @@
+"""End-to-end telemetry: session integration, bit-identity, CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.datasets.catalog import build_dataset
+from repro.experiments.runner import RunnerConfig, SessionRunner
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("deer", seed=0)
+
+
+def _run(dataset, trace_dir=None, slo=None, steps=3):
+    runner = SessionRunner(
+        dataset,
+        RunnerConfig(
+            num_steps=steps,
+            strategy="ve-full",
+            seed=0,
+            trace_dir=trace_dir,
+            visible_latency_slo_s=slo,
+        ),
+    )
+    try:
+        runner.run()
+        session = runner.vocal.session
+        fingerprint = [
+            (
+                record.iteration,
+                record.visible_latency,
+                record.background_time_used,
+                record.background_idle_time,
+                tuple(sorted(record.visible_by_kind.items())),
+            )
+            for record in session.scheduler.iteration_records()
+        ]
+        slo_results = session.slo_results()
+        report = session.telemetry_report()
+        return fingerprint, slo_results, report
+    finally:
+        runner.close()
+
+
+class TestBitIdentity:
+    def test_latency_records_identical_with_telemetry_on(self, dataset, tmp_path):
+        """Telemetry is an observer: the scheduler's latency records must be
+        float-bit-identical with tracing fully enabled vs. disabled."""
+        baseline, slo_off, __ = _run(dataset)
+        traced, slo_on, __ = _run(dataset, trace_dir=str(tmp_path / "trace"), slo=1.0)
+        assert traced == baseline  # exact ==, no tolerance
+        assert slo_off == []
+        assert len(slo_on) == len(traced)
+
+
+class TestSessionIntegration:
+    def test_trace_artifacts_and_slo_surface(self, dataset, tmp_path):
+        trace_dir = tmp_path / "trace"
+        fingerprint, slo_results, report = _run(dataset, trace_dir=str(trace_dir), slo=0.001)
+
+        # Session-level SLO accounting: the tiny budget violates everywhere.
+        assert all(verdict.violated for verdict in slo_results)
+        assert "VIOLATED" in report
+
+        # The JSONL sink carries both spans and the per-iteration verdicts.
+        records = [
+            json.loads(line)
+            for line in (trace_dir / "trace.jsonl").read_text().splitlines()
+        ]
+        spans = [r for r in records if r["type"] == "span"]
+        verdicts = [r for r in records if r["type"] == "slo"]
+        assert len(verdicts) == len(fingerprint)
+        assert all(v["violated"] for v in verdicts)
+        # Session spans wrap the iteration; scheduler task spans nest under it.
+        iteration_spans = {s["id"] for s in spans if s["name"] == "iteration"}
+        task_parents = {s["parent"] for s in spans if s["name"].startswith("task:")}
+        assert task_parents & iteration_spans
+        # The SLO verdicts mirror the scheduler's records bit-exactly.
+        by_iteration = {v["iteration"]: v for v in verdicts}
+        for iteration, visible, *_ in fingerprint:
+            assert by_iteration[iteration]["visible_latency_s"] == visible
+
+        # metrics.json holds the closed run's snapshot for the report path.
+        doc = json.loads((trace_dir / "metrics.json").read_text())
+        assert doc["slo"]["violations"] == len(fingerprint)
+        assert doc["metrics"]["counters"]["session.iterations"] == len(fingerprint)
+
+
+class TestCLI:
+    def test_explore_prints_slo_verdicts_and_report_renders(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "trace")
+        code = cli_main(
+            [
+                "explore",
+                "--dataset", "deer",
+                "--steps", "2",
+                "--strategy", "ve-full",
+                "--trace-dir", trace_dir,
+                "--slo", "0.001",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SLO (0.001 s/iteration): 2 of 2 iterations violated" in out
+        assert f"telemetry written to {trace_dir}" in out
+
+        code = cli_main(["report", "--trace-dir", trace_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== telemetry report:" in out
+        assert "VIOLATED" in out
+        assert "session.iterations" in out
+
+    def test_report_on_empty_dir_exits_with_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["report", "--trace-dir", str(tmp_path / "nothing")])

@@ -1,0 +1,70 @@
+"""Tests for per-iteration SLO accounting."""
+
+import pytest
+
+from repro.scheduler.scheduler import IterationLatency
+from repro.telemetry.slo import SLOAccountant
+
+
+def _record(iteration, visible, by_kind=None):
+    record = IterationLatency(iteration=iteration)
+    for kind, duration in (by_kind or {"sample_selection": visible}).items():
+        record.add_visible(kind, duration)
+    return record
+
+
+class TestSLOAccountant:
+    def test_within_budget(self):
+        accountant = SLOAccountant(budget_s=10.0)
+        verdict = accountant.record(_record(1, 4.0))
+        assert not verdict.violated
+        assert verdict.overshoot == 0.0
+        assert accountant.violations == 0
+
+    def test_violation_and_overshoot(self):
+        accountant = SLOAccountant(budget_s=10.0)
+        verdict = accountant.record(_record(1, 12.5))
+        assert verdict.violated
+        assert verdict.overshoot == pytest.approx(2.5)
+        assert accountant.violations == 1
+
+    def test_no_budget_records_without_verdicts(self):
+        accountant = SLOAccountant(budget_s=None)
+        verdict = accountant.record(_record(1, 100.0))
+        assert not verdict.violated
+        assert verdict.budget is None
+        assert accountant.iterations == 1
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            SLOAccountant(budget_s=0.0)
+        with pytest.raises(ValueError, match="must be > 0"):
+            SLOAccountant(budget_s=-1.0)
+
+    def test_worst_tracks_highest_latency(self):
+        accountant = SLOAccountant(budget_s=5.0)
+        for iteration, visible in ((1, 3.0), (2, 9.0), (3, 6.0)):
+            accountant.record(_record(iteration, visible))
+        worst = accountant.worst()
+        assert worst.iteration == 2
+        assert worst.visible_latency == 9.0
+
+    def test_summary_shape(self):
+        accountant = SLOAccountant(budget_s=5.0)
+        accountant.record(_record(1, 3.0, {"sample_selection": 1.0, "model_training": 2.0}))
+        accountant.record(_record(2, 7.0))
+        summary = accountant.summary()
+        assert summary["budget_s"] == 5.0
+        assert summary["iterations"] == 2
+        assert summary["violations"] == 1
+        assert summary["total_visible_s"] == pytest.approx(10.0)
+        assert summary["worst"]["iteration"] == 2
+        assert len(summary["per_iteration"]) == 2
+        record = summary["per_iteration"][0]
+        assert record["type"] == "slo"
+        assert record["visible_by_kind"] == {"sample_selection": 1.0, "model_training": 2.0}
+
+    def test_empty_summary(self):
+        summary = SLOAccountant(budget_s=1.0).summary()
+        assert summary["iterations"] == 0
+        assert summary["worst"] is None

@@ -1,0 +1,110 @@
+"""Tests for the tracing core: spans, nesting, thread propagation."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.exporters import MemorySink
+from repro.telemetry.tracing import NULL_SPAN, Tracer, current_span
+
+
+@pytest.fixture
+def tracer():
+    tracer = Tracer()
+    sink = MemorySink()
+    tracer.add_sink(sink)
+    tracer.sink = sink
+    return tracer
+
+
+class TestSpanBasics:
+    def test_with_block_records_span(self, tracer):
+        with tracer.span("work", "app", attributes={"k": 1}):
+            pass
+        (record,) = tracer.sink.spans
+        assert record["name"] == "work"
+        assert record["cat"] == "app"
+        assert record["attrs"] == {"k": 1}
+        assert record["dur"] >= 0.0
+        assert record["parent"] is None
+
+    def test_nesting_sets_parent_ids(self, tracer):
+        with tracer.span("outer", "app") as outer:
+            assert current_span() is outer
+            with tracer.span("inner", "app") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+        by_name = {record["name"]: record for record in tracer.sink.spans}
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["outer"]["parent"] is None
+
+    def test_parent_captured_at_creation(self, tracer):
+        with tracer.span("outer", "app") as outer:
+            span = tracer.span("manual", "app")
+        # Created inside `outer`, entered after it ended: parent is still outer.
+        with span:
+            pass
+        assert tracer.sink.spans[-1]["parent"] == outer.span_id
+
+    def test_end_is_idempotent(self, tracer):
+        span = tracer.span("once", "app").__enter__()
+        span.end()
+        span.end()
+        assert len(tracer.sink.spans) == 1
+
+    def test_set_attribute(self, tracer):
+        with tracer.span("attrs", "app") as span:
+            span.set_attribute("added", "later")
+        assert tracer.sink.spans[0]["attrs"]["added"] == "later"
+
+    def test_exception_still_closes_span(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom", "app"):
+                raise RuntimeError("boom")
+        assert len(tracer.sink.spans) == 1
+        assert current_span() is None
+
+    def test_metric_histogram_receives_duration(self, tracer):
+        from repro.telemetry.metrics import Histogram
+
+        histogram = Histogram("test.seconds")
+        with tracer.span("timed", "app", metric=histogram):
+            pass
+        assert histogram.summary()["count"] == 1
+
+
+class TestThreadPropagation:
+    def test_threads_do_not_inherit_spans_implicitly(self, tracer):
+        seen = []
+        with tracer.span("main-only", "app"):
+            worker = threading.Thread(target=lambda: seen.append(current_span()))
+            worker.start()
+            worker.join()
+        assert seen == [None]
+
+    def test_activate_carries_context_to_worker(self, tracer):
+        captured = {}
+
+        def worker(context):
+            with tracer.activate(context):
+                with tracer.span("child", "app"):
+                    pass
+            captured["after"] = current_span()
+
+        with tracer.span("parent", "app") as parent:
+            thread = threading.Thread(target=worker, args=(parent,))
+            thread.start()
+            thread.join()
+        assert captured["after"] is None
+        by_name = {record["name"]: record for record in tracer.sink.spans}
+        assert by_name["child"]["parent"] == by_name["parent"]["id"]
+        assert by_name["child"]["thread"] != by_name["parent"]["thread"]
+
+
+class TestNullSpan:
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.set_attribute("ignored", 1)
+            span.end()
+        assert NULL_SPAN.span_id is None

@@ -1,0 +1,73 @@
+"""Lint gate: no bare ``print(...)`` calls in library or benchmark code.
+
+All output in ``src/repro`` and ``benchmarks`` goes through module loggers
+(``logging.getLogger(__name__)``) configured by
+``repro.telemetry.configure_logging``, so verbosity and destination are
+controlled in one place (the CLI's ``--log-level``, the benchmarks' plain
+stdout format).  A stray ``print`` bypasses that control; this AST-based
+check fails (exit 1) listing every offender.
+
+The CLI's final result write intentionally uses ``sys.stdout.write`` — the
+command output is the program's product, not a log line — which this check
+does not flag.
+
+Usage::
+
+    python tools/check_no_print.py src/repro benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+__all__ = ["find_prints", "main"]
+
+
+def find_prints(path: Path) -> list[tuple[int, str]]:
+    """Return (line, source line) for every ``print(...)`` call in one file."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    offenders: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            offenders.append((node.lineno, lines[node.lineno - 1].strip()))
+    return offenders
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Scan the given paths; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro", "benchmarks"],
+        help="files or directories to scan (default: src/repro benchmarks)",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for root in args.paths:
+        root_path = Path(root)
+        files = sorted(root_path.rglob("*.py")) if root_path.is_dir() else [root_path]
+        for path in files:
+            for line, text in find_prints(path):
+                sys.stderr.write(f"{path}:{line}: bare print call: {text}\n")
+                failures += 1
+    if failures:
+        sys.stderr.write(
+            f"{failures} bare print call(s); use logging.getLogger(__name__) "
+            "with repro.telemetry.configure_logging instead\n"
+        )
+        return 1
+    sys.stdout.write("no bare print calls\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
