@@ -12,6 +12,9 @@ Provides four subcommands:
   and print its rows.
 * ``repro-vocal report`` — render the telemetry report of a traced run
   (metrics tables plus per-iteration SLO verdicts).
+* ``repro-vocal serve`` — host many named exploration sessions over TCP
+  (newline-delimited JSON; see ``docs/SERVING.md``), with LRU eviction to a
+  durable state root and per-request-class SLO accounting.
 
 Example::
 
@@ -21,6 +24,7 @@ Example::
     python -m repro.cli report --trace-dir /tmp/trace
     python -m repro.cli search --dataset deer --vid 0 --start 0 --end 1 --backend ivf-flat
     python -m repro.cli experiment --name fig3 --dataset k20-skew --steps 10
+    python -m repro.cli serve --dataset deer --root /tmp/sessions --max-resident 4
 """
 
 from __future__ import annotations
@@ -171,6 +175,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory a previous run wrote with explore --trace-dir",
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="host many named exploration sessions over TCP"
+    )
+    serve.add_argument("--dataset", choices=DATASET_NAMES, default="deer")
+    serve.add_argument(
+        "--root", required=True,
+        help="directory holding each session's durable checkpoint state; "
+        "sessions found here are served again after a restart",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 = OS-assigned")
+    serve.add_argument(
+        "--max-resident", type=int, default=8,
+        help="sessions kept in memory before LRU eviction pages the coldest "
+        "to disk (restored on their next request)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=0,
+        help="total named sessions admitted (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--max-overshoot", type=int, default=None,
+        help="extra residents tolerated when every resident session is "
+        "mid-iteration; past max-resident + max-overshoot, admissions are "
+        "shed for the client to retry (default: unbounded overshoot)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="in-flight requests beyond which new ones are shed",
+    )
+    serve.add_argument("--workers", type=int, default=4, help="request worker threads")
+    for request_class in ("explore", "label", "search", "predict"):
+        serve.add_argument(
+            f"--{request_class}-slo", type=float, default=None, metavar="SECONDS",
+            help=f"wall-clock SLO budget for {request_class} requests",
+        )
+    serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop gracefully after this long (default: run until a client "
+        "sends shutdown or the process is interrupted)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+
     return parser
 
 
@@ -303,6 +350,62 @@ def _run_search(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_serve(args: argparse.Namespace) -> str:
+    from .config import ServingConfig
+    from .datasets.catalog import build_dataset
+    from .serving import CorpusSessionFactory, SessionManager, ServerThread
+
+    serving = ServingConfig(
+        host=args.host,
+        port=args.port,
+        max_resident_sessions=args.max_resident,
+        max_sessions=args.max_sessions,
+        max_queue_depth=args.queue_depth,
+        worker_threads=args.workers,
+        explore_slo_s=args.explore_slo,
+        label_slo_s=args.label_slo,
+        search_slo_s=args.search_slo,
+        predict_slo_s=args.predict_slo,
+    )
+    dataset = build_dataset(args.dataset, seed=args.seed)
+    factory = CorpusSessionFactory(dataset, args.root, base_seed=args.seed)
+    manager = SessionManager(
+        factory,
+        max_resident=serving.max_resident_sessions,
+        max_sessions=serving.max_sessions,
+        max_overshoot=args.max_overshoot,
+    )
+    thread = ServerThread(manager, serving)
+    host, port = thread.start()
+    sys.stdout.write(
+        f"serving dataset {args.dataset} on {host}:{port} "
+        f"(state root: {args.root}, {len(factory.list_sessions())} sessions on disk)\n"
+    )
+    sys.stdout.flush()
+    try:
+        thread.wait(args.duration)
+    except KeyboardInterrupt:
+        sys.stdout.write("interrupted; checkpointing sessions\n")
+    finally:
+        thread.stop()
+    stats = manager.stats()
+    slo = thread.server.accountant.summary()
+    lines = [
+        "server stopped; every session checkpointed",
+        f"requests served: {slo['requests']} ({slo['violations']} SLO violations)",
+        f"sessions on disk: {stats['sessions_on_disk']} "
+        f"(creates {stats['creates']}, restores {stats['restores']}, "
+        f"evictions {stats['evictions']})",
+    ]
+    for name, doc in slo["classes"].items():
+        if doc["count"]:
+            lines.append(
+                f"  {name}: n={doc['count']} p50={doc['p50_s'] * 1e3:.1f}ms "
+                f"p99={doc['p99_s'] * 1e3:.1f}ms violations={doc['violations']}"
+            )
+    return "\n".join(lines)
+
+
 def _run_experiment(args: argparse.Namespace) -> str:
     name = args.name
     if name == "table2":
@@ -339,6 +442,7 @@ _HANDLERS: dict[str, Callable[[argparse.Namespace], str]] = {
     "search": _run_search,
     "experiment": _run_experiment,
     "report": _run_report,
+    "serve": _run_serve,
 }
 
 

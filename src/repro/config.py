@@ -26,6 +26,7 @@ __all__ = [
     "ExploreConfig",
     "IndexConfig",
     "TelemetryConfig",
+    "ServingConfig",
     "VocalExploreConfig",
 ]
 
@@ -303,6 +304,67 @@ class TelemetryConfig:
             or self.trace_dir is not None
             or self.visible_latency_slo_s is not None
         )
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Multi-session serving layer (``repro.serving``).
+
+    Controls the asyncio front door and the session manager behind it:
+    where to listen, how many sessions stay resident in memory before LRU
+    eviction pages the coldest to disk, how deep the request queue may grow
+    before load shedding, and the per-request-class wall-clock SLO budgets
+    surfaced by ``stats`` and the serving benchmark.
+
+    Standalone by design: one server hosts many ``VocalExploreConfig``-built
+    sessions, so this section is not part of :class:`VocalExploreConfig`.
+    """
+
+    #: Listen address; the default binds loopback only.
+    host: str = "127.0.0.1"
+    #: TCP port (0 = let the OS pick; the bound port is logged and returned).
+    port: int = 0
+    #: Sessions kept in memory at once; the LRU idle session beyond this is
+    #: checkpointed to disk and released.
+    max_resident_sessions: int = 8
+    #: Total named sessions admitted, resident or paged out (0 = unbounded).
+    max_sessions: int = 0
+    #: In-flight + queued requests beyond which new requests are shed with an
+    #: ``AdmissionError`` response instead of queuing without bound.
+    max_queue_depth: int = 64
+    #: Worker threads executing session requests (distinct sessions run
+    #: concurrently; each session's requests stay strictly ordered).
+    worker_threads: int = 4
+    #: Per-request-class wall-clock SLO budgets in seconds (None = record
+    #: latency without a verdict for that class).
+    explore_slo_s: float | None = None
+    label_slo_s: float | None = None
+    search_slo_s: float | None = None
+    predict_slo_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_resident_sessions < 1:
+            raise ValueError("max_resident_sessions must be >= 1")
+        if self.max_sessions < 0:
+            raise ValueError("max_sessions must be >= 0")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.worker_threads < 1:
+            raise ValueError("worker_threads must be >= 1")
+        for name in ("explore_slo_s", "label_slo_s", "search_slo_s", "predict_slo_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be > 0 when set")
+
+    def budgets(self) -> dict[str, float]:
+        """Per-request-class budget mapping (unbudgeted classes omitted)."""
+        pairs = {
+            "explore": self.explore_slo_s,
+            "label": self.label_slo_s,
+            "search": self.search_slo_s,
+            "predict": self.predict_slo_s,
+        }
+        return {name: budget for name, budget in pairs.items() if budget is not None}
 
 
 @dataclass(frozen=True)

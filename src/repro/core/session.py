@@ -262,6 +262,15 @@ class ExplorationSession:
         """Number of Explore iterations started so far."""
         return self._iteration
 
+    @property
+    def iteration_open(self) -> bool:
+        """True between an ``explore`` call and its ``finish_iteration``.
+
+        Checkpoints require a closed iteration, so the serving layer's LRU
+        evictor consults this before paging a session to disk.
+        """
+        return self._iteration_open
+
     def summaries(self) -> list[IterationSummary]:
         """Per-iteration bookkeeping collected so far."""
         return list(self._summaries)

@@ -60,6 +60,22 @@ class VectorIndexError(ReproError):
     """Raised by the vector-index subsystem (``repro.index``)."""
 
 
+class ServingError(ReproError):
+    """Raised by the multi-session serving layer (``repro.serving``)."""
+
+
+class ProtocolError(ServingError):
+    """Raised when a serving request or response violates the wire protocol."""
+
+
+class AdmissionError(ServingError):
+    """Raised when admission control rejects a session or a request."""
+
+
+class SessionNotFoundError(ServingError):
+    """Raised when a named serving session does not exist."""
+
+
 class ModelError(ReproError):
     """Raised by the model manager."""
 

@@ -1,0 +1,54 @@
+"""Multi-session serving layer (ROADMAP item 1).
+
+The paper's system is a single-user exploration loop: one process, one
+:class:`~repro.core.api.VOCALExplore` instance.  This package turns it into a
+*service* that hosts many named exploration sessions in bounded memory:
+
+* **Protocol** (:mod:`.protocol`): a newline-delimited JSON request/response
+  protocol with four SLO-accounted request classes — ``explore``, ``label``,
+  ``search``, ``predict`` — plus control operations (``open``, ``finish``,
+  ``stats``, ``close``, ``ping``, ``shutdown``).
+* **Session manager** (:mod:`.manager`): admission control (max named
+  sessions, max resident sessions) and checkpoint-backed LRU eviction.  Each
+  session owns private label/model/bandit state over a *shared read-only
+  video corpus*; idle sessions are paged to disk with PR 5's
+  ``checkpoint()`` and restored bit-identically by ``resume()`` on their next
+  request — bounded memory, unbounded sessions.
+* **Server** (:mod:`.server`): an ``asyncio`` front door that executes
+  session work on a worker pool, sheds load beyond a configured queue depth,
+  and threads every request through per-request-class SLO accounting
+  (:class:`repro.telemetry.slo.RequestClassAccountant`).
+* **Client** (:mod:`.client`): a thin blocking socket client used by the CLI,
+  the tests, and ``benchmarks/bench_serving.py``.
+* **Workload** (:mod:`.workload`): seeded scripted users and session
+  fingerprints shared by the test suite and the serving benchmark.
+
+See ``docs/SERVING.md`` for the protocol reference and lifecycle details.
+"""
+
+from __future__ import annotations
+
+from .client import ServingClient
+from .manager import CorpusSessionFactory, SessionManager
+from .protocol import REQUEST_CLASSES, ProtocolError
+from .server import ExploreServer, ServerThread
+from .workload import (
+    LocalSessionAdapter,
+    RemoteSessionAdapter,
+    ScriptedUser,
+    session_fingerprint,
+)
+
+__all__ = [
+    "REQUEST_CLASSES",
+    "ProtocolError",
+    "CorpusSessionFactory",
+    "SessionManager",
+    "ExploreServer",
+    "ServerThread",
+    "ServingClient",
+    "LocalSessionAdapter",
+    "RemoteSessionAdapter",
+    "ScriptedUser",
+    "session_fingerprint",
+]

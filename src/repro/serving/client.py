@@ -1,0 +1,197 @@
+"""Thin blocking client for the serving protocol.
+
+:class:`ServingClient` opens one TCP connection, frames requests as
+newline-delimited JSON (:mod:`.protocol`), and exposes each server
+operation as a method returning the decoded ``result`` document.  Error
+responses are re-raised locally: admission rejections surface as
+:class:`~repro.exceptions.AdmissionError` (so callers can back off and
+retry), unknown sessions as
+:class:`~repro.exceptions.SessionNotFoundError`, protocol violations as
+:class:`~repro.exceptions.ProtocolError`, and anything else as
+:class:`RemoteError` carrying the server-side exception type.
+
+The client is deliberately synchronous — scripted users in the benchmark
+and the test suite each drive their own connection from a plain thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..exceptions import (
+    AdmissionError,
+    ProtocolError,
+    ServingError,
+    SessionNotFoundError,
+)
+from .protocol import decode_line, encode_message
+
+__all__ = ["RemoteError", "ServingClient"]
+
+
+class RemoteError(ServingError):
+    """An error response from the server that has no local exception type."""
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        #: Exception class name reported by the server.
+        self.remote_type = remote_type
+        #: Server-side error message.
+        self.remote_message = message
+
+
+#: Remote error types re-raised as their local exception classes.
+_LOCAL_ERRORS = {
+    "AdmissionError": AdmissionError,
+    "SessionNotFoundError": SessionNotFoundError,
+    "ProtocolError": ProtocolError,
+}
+
+
+class ServingClient:
+    """One connection to an :class:`~repro.serving.server.ExploreServer`.
+
+    Usage::
+
+        with ServingClient(host, port) as client:
+            client.open("alice")
+            batch = client.explore("alice", batch_size=5)
+            client.label("alice", [...], finish=True)
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        """Connect to a server.
+
+        Args:
+            host: Server host.
+            port: Server port.
+            timeout: Socket timeout in seconds for connect and each reply.
+        """
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    # ----------------------------------------------------------------- plumbing
+    def _call(self, op: str, **payload: Any) -> dict:
+        """Send one request and block for its response ``result`` document."""
+        request = {"id": next(self._ids), "op": op}
+        request.update({key: value for key, value in payload.items() if value is not None})
+        self._file.write(encode_message(request))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServingError("server closed the connection")
+        response = decode_line(line)
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        error = response.get("error") or {}
+        remote_type = str(error.get("type", "ServingError"))
+        message = str(error.get("message", "unknown server error"))
+        local = _LOCAL_ERRORS.get(remote_type)
+        if local is not None:
+            raise local(message)
+        raise RemoteError(remote_type, message)
+
+    def close(self) -> None:
+        """Close the connection (idempotent); server sessions stay resident."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- operations
+    def ping(self) -> dict:
+        """Liveness probe; returns the server's protocol version."""
+        return self._call("ping")
+
+    def open(self, session: str) -> dict:
+        """Create the named session, or page it back in if it exists on disk."""
+        return self._call("open", session=session)
+
+    def explore(
+        self,
+        session: str,
+        batch_size: int | None = None,
+        clip_duration: float | None = None,
+        label: str | None = None,
+    ) -> dict:
+        """Run one Explore step; returns the batch of clips to label."""
+        return self._call(
+            "explore",
+            session=session,
+            batch_size=batch_size,
+            clip_duration=clip_duration,
+            label=label,
+        )
+
+    def label(
+        self,
+        session: str,
+        labels: Iterable[Mapping[str, Any] | Sequence[Any]],
+        finish: bool = False,
+    ) -> dict:
+        """Durably store labels; ``finish=True`` also closes the iteration.
+
+        Each label is a ``{vid, start, end, label}`` mapping or a
+        ``(vid, start, end, label)`` sequence.
+        """
+        docs = []
+        for entry in labels:
+            if isinstance(entry, Mapping):
+                docs.append(dict(entry))
+            else:
+                vid, start, end, label_name = entry
+                docs.append({"vid": vid, "start": start, "end": end, "label": label_name})
+        return self._call("label", session=session, labels=docs, finish=finish or None)
+
+    def finish(self, session: str) -> dict:
+        """Close the current iteration; returns its summary."""
+        return self._call("finish", session=session)
+
+    def search(
+        self,
+        session: str,
+        clip: Sequence[Any] | None = None,
+        vector: Sequence[float] | None = None,
+        k: int | None = None,
+        feature: str | None = None,
+    ) -> dict:
+        """Similarity search: pass a ``(vid, start, end)`` clip or a raw
+        feature vector (exactly one of the two)."""
+        if (clip is None) == (vector is None):
+            raise ValueError("search() needs exactly one of clip= or vector=")
+        if clip is not None:
+            vid, start, end = clip
+            return self._call(
+                "search", session=session, vid=int(vid), start=float(start),
+                end=float(end), k=k, feature=feature,
+            )
+        return self._call(
+            "search", session=session, vector=[float(x) for x in vector], k=k, feature=feature
+        )
+
+    def predict(self, session: str, vid: int, start: float, end: float) -> dict:
+        """Predict labels over a video window (the paper's ``Watch``)."""
+        return self._call("predict", session=session, vid=vid, start=start, end=end)
+
+    def stats(self) -> dict:
+        """Server-wide stats: resident sessions, counters, per-class SLOs."""
+        return self._call("stats")
+
+    def close_session(self, session: str) -> dict:
+        """Checkpoint the session and page it out of memory."""
+        return self._call("close", session=session)
+
+    def shutdown(self) -> dict:
+        """Ask the server to checkpoint every session and stop."""
+        return self._call("shutdown")

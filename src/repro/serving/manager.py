@@ -1,0 +1,483 @@
+"""Session hosting: admission control and checkpoint-backed LRU eviction.
+
+:class:`SessionManager` turns the single-session library into a multi-tenant
+host.  Each named session is a full :class:`~repro.core.api.VOCALExplore`
+instance with its *own* label store, model registry, feature shards, bandit,
+and scheduler — complete namespace isolation — built by a
+:class:`CorpusSessionFactory` that shares one read-only
+:class:`~repro.video.corpus.VideoCorpus` (the heavy, common data) across all
+of them.
+
+Memory is bounded by ``max_resident``: when admitting or restoring a session
+would exceed it, the least-recently-used idle session is *evicted* — its full
+state is written as an atomic snapshot generation through PR 5's
+``checkpoint()`` and the in-memory instance is released.  The next request
+for that session rebuilds it from the factory and ``resume()``\\ s the
+snapshot, which PR 5 guarantees is bit-identical (labels, model parameters,
+latency records, RNG streams).  Sessions mid-iteration (between ``explore``
+and ``finish``) are never auto-evicted: checkpoints require a closed
+iteration, and skipping them keeps the evict/restore cycle invisible to
+clients.  When *everything* resident is pinned or mid-iteration the manager
+either overshoots the cap (default) or, with ``max_overshoot`` set, sheds
+the admission with :class:`AdmissionError` once the hard residency bound is
+hit — trading latency (the client retries) for a memory ceiling.
+
+The manager is synchronous and thread-safe: the asyncio server calls it from
+worker threads, and the test suite drives it directly without a server.
+Bookkeeping runs under one manager lock; session *work* runs outside it,
+holding only that session's lock, so distinct sessions execute concurrently
+while each session's requests stay strictly ordered.
+"""
+
+from __future__ import annotations
+
+import gc
+import itertools
+import logging
+import threading
+import zlib
+from contextlib import contextmanager
+from dataclasses import replace
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from ..config import VocalExploreConfig
+from ..core.api import VOCALExplore
+from ..exceptions import AdmissionError, ServingError, SessionNotFoundError
+from ..telemetry.metrics import MetricsRegistry
+from .protocol import valid_session_name
+
+__all__ = ["CorpusSessionFactory", "SessionManager", "ResidentSession"]
+
+logger = logging.getLogger(__name__)
+
+
+class CorpusSessionFactory:
+    """Builds per-session ``VOCALExplore`` instances over one shared corpus.
+
+    Every session shares the factory's read-only video corpus, vocabulary,
+    and feature-quality map, but receives private stores and a private,
+    name-derived seed, so two sessions with the same request script still
+    explore independently.  The factory forces the configuration invariants
+    eviction depends on: the deterministic simulated engine, a per-session
+    checkpoint directory under ``root``, and telemetry off (sessions share
+    the process, and the telemetry facade is process-global).
+    """
+
+    def __init__(
+        self,
+        dataset,
+        root: str | Path,
+        config: VocalExploreConfig | None = None,
+        base_seed: int = 0,
+        candidate_features: Sequence[str] | None = None,
+    ) -> None:
+        """Create a factory.
+
+        Args:
+            dataset: A :class:`repro.datasets.synthetic.Dataset` whose
+                ``train_corpus`` is shared read-only by every session.
+            root: Directory holding one subdirectory per session (its
+                durable checkpoint state).
+            config: Base configuration applied to every session; the
+                scheduler section's engine/checkpoint fields are overridden
+                per session.  Must not request a telemetry run.
+            base_seed: Folded with the session name into each session's seed.
+            candidate_features: Candidate extractors per session (None = all).
+
+        Raises:
+            ServingError: when ``config`` requests an active telemetry run.
+        """
+        self.dataset = dataset
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        config = config if config is not None else VocalExploreConfig()
+        if config.telemetry.active:
+            raise ServingError(
+                "serving sessions cannot run per-session telemetry (the "
+                "telemetry facade is process-global); configure SLO "
+                "accounting on the server instead"
+            )
+        self.config = config
+        self.base_seed = int(base_seed)
+        self.candidate_features = (
+            list(candidate_features) if candidate_features is not None else None
+        )
+
+    # ------------------------------------------------------------------ layout
+    def session_dir(self, name: str) -> Path:
+        """Directory holding one session's durable state."""
+        if not valid_session_name(name):
+            raise ServingError(f"illegal session name {name!r}")
+        return self.root / name
+
+    def exists(self, name: str) -> bool:
+        """True when the session has durable state on disk."""
+        return self.session_dir(name).is_dir()
+
+    def list_sessions(self) -> list[str]:
+        """Names of every session with durable state, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and valid_session_name(entry.name)
+        )
+
+    def session_seed(self, name: str) -> int:
+        """Deterministic per-session seed (stable across process restarts)."""
+        return zlib.crc32(f"{self.base_seed}:{name}".encode("utf-8")) & 0x7FFFFFFF
+
+    # ------------------------------------------------------------------- build
+    def build(self, name: str) -> VOCALExplore:
+        """Assemble a fresh session instance for ``name`` (no resume)."""
+        checkpoint_dir = self.session_dir(name) / "checkpoint"
+        config = self.config.with_updates(
+            scheduler=replace(
+                self.config.scheduler,
+                engine="simulated",
+                checkpoint_dir=str(checkpoint_dir),
+                checkpoint_every=0,
+            ),
+            seed=self.session_seed(name),
+        )
+        return VOCALExplore.for_corpus(
+            self.dataset.train_corpus,
+            vocabulary=self.dataset.class_names,
+            feature_qualities=self.dataset.feature_qualities,
+            config=config,
+            candidate_features=self.candidate_features,
+        )
+
+
+class ResidentSession:
+    """Bookkeeping for one in-memory session."""
+
+    __slots__ = ("name", "vocal", "lock", "pins", "last_used", "requests")
+
+    def __init__(self, name: str, vocal: VOCALExplore) -> None:
+        self.name = name
+        self.vocal = vocal
+        #: Serialises work on this session; held only outside the manager lock.
+        self.lock = threading.Lock()
+        #: Threads inside (or queued on) :meth:`SessionManager.acquire`.
+        self.pins = 0
+        #: Logical LRU timestamp (monotonic use counter, not wall time).
+        self.last_used = 0
+        #: Requests served by this resident instance.
+        self.requests = 0
+
+
+class SessionManager:
+    """Hosts many named sessions in bounded memory (LRU + checkpoints)."""
+
+    def __init__(
+        self,
+        factory: CorpusSessionFactory,
+        max_resident: int = 8,
+        max_sessions: int = 0,
+        metrics: MetricsRegistry | None = None,
+        max_overshoot: int | None = None,
+    ) -> None:
+        """Create a manager.
+
+        Args:
+            factory: Builds (and rebuilds, for restores) session instances.
+            max_resident: Sessions kept in memory at once (>= 1); admitting
+                one more evicts the least-recently-used idle session first.
+            max_sessions: Total named sessions admitted, resident or paged
+                out (0 = unbounded).
+            metrics: Registry receiving lifecycle counters; a private one is
+                created when omitted.
+            max_overshoot: Extra residents tolerated when nothing is
+                evictable (every resident session pinned or mid-iteration).
+                ``None`` (default) admits unboundedly in that case; an
+                integer makes ``max_resident + max_overshoot`` a *hard*
+                residency cap past which admission sheds with
+                :class:`AdmissionError` — backpressure instead of memory
+                growth.  Safe to retry: a mid-iteration session is always
+                resident, so the request that closes its iteration is never
+                shed, and closing it frees an eviction candidate.
+        """
+        if max_resident < 1:
+            raise ServingError(f"max_resident must be >= 1, got {max_resident}")
+        if max_sessions < 0:
+            raise ServingError(f"max_sessions must be >= 0, got {max_sessions}")
+        if max_overshoot is not None and max_overshoot < 0:
+            raise ServingError(f"max_overshoot must be >= 0, got {max_overshoot}")
+        self.factory = factory
+        self.max_resident = int(max_resident)
+        self.max_sessions = int(max_sessions)
+        self.max_overshoot = None if max_overshoot is None else int(max_overshoot)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._resident: dict[str, ResidentSession] = {}
+        self._lock = threading.Lock()
+        self._use_counter = itertools.count(1)
+        self._closed = False
+        # Lifecycle tallies (mirrored into the metrics registry).
+        self._creates = 0
+        self._restores = 0
+        self._evictions = 0
+        self._overshoots = 0
+        self._residency_sheds = 0
+        self._recovered_labels = 0
+
+    # --------------------------------------------------------------- admission
+    def _admit_locked(self, name: str, create: bool) -> None:
+        known = set(self.factory.list_sessions()) | set(self._resident)
+        if name in known:
+            return
+        if not create:
+            raise SessionNotFoundError(f"session {name!r} does not exist")
+        if self.max_sessions and len(known) >= self.max_sessions:
+            raise AdmissionError(
+                f"session limit reached ({self.max_sessions}); "
+                f"cannot admit new session {name!r}"
+            )
+
+    def open(self, name: str) -> dict:
+        """Admit (creating or restoring) a session; returns its summary.
+
+        Raises:
+            AdmissionError: when ``max_sessions`` is reached and ``name`` is new.
+            ServingError: on an illegal session name or a closed manager.
+        """
+        with self.acquire(name) as vocal:
+            return {
+                "session": name,
+                "iteration": vocal.session.iteration,
+                "labels": len(vocal.session.storage.labels),
+                "seed": self.factory.session_seed(name),
+            }
+
+    # ------------------------------------------------------------------ hosting
+    @contextmanager
+    def acquire(self, name: str, create: bool = True) -> Iterator[VOCALExplore]:
+        """Pin a session into memory and yield it, serialised per session.
+
+        Restores the session from its checkpoint when it was evicted (or
+        survives from a previous process), evicting the LRU idle session
+        first when at capacity.  Work inside the ``with`` block holds only
+        this session's lock, so distinct sessions run concurrently.
+        """
+        if not valid_session_name(name):
+            raise ServingError(f"illegal session name {name!r}")
+        with self._lock:
+            if self._closed:
+                raise ServingError("session manager is closed")
+            self._admit_locked(name, create)
+            entry = self._ensure_resident_locked(name)
+            entry.pins += 1
+        try:
+            with entry.lock:
+                entry.requests += 1
+                yield entry.vocal
+        finally:
+            with self._lock:
+                entry.pins -= 1
+                entry.last_used = next(self._use_counter)
+
+    def _ensure_resident_locked(self, name: str) -> ResidentSession:
+        entry = self._resident.get(name)
+        if entry is not None:
+            return entry
+        self._make_room_locked()
+        existed = self.factory.exists(name)
+        vocal = self.factory.build(name)
+        if existed:
+            self._restore(name, vocal)
+            self._restores += 1
+            self.metrics.counter("serving.session_restores").add(1)
+        else:
+            self._creates += 1
+            self.metrics.counter("serving.session_creates").add(1)
+        entry = ResidentSession(name, vocal)
+        entry.last_used = next(self._use_counter)
+        self._resident[name] = entry
+        self.metrics.gauge("serving.resident_sessions").set(len(self._resident))
+        return entry
+
+    def _restore(self, name: str, vocal: VOCALExplore) -> None:
+        """Resume a rebuilt session and fold in any durable journal tail.
+
+        The clean eviction path checkpoints first, so its tail is empty and
+        the restore is PR 5's bit-identical resume.  After a *crash* the
+        journal may hold labels acknowledged past the last snapshot; unlike
+        the single-user driver (which re-executes those iterations
+        deterministically), a serving client will not resend them, so they
+        are re-applied here and immediately re-checkpointed — rolling the
+        journal so a later recovery cannot double-apply them.
+        """
+        report = vocal.resume()
+        if report.tail_labels:
+            vocal.session.add_labels(report.tail_labels)
+            vocal.checkpoint()
+            self._recovered_labels += len(report.tail_labels)
+            self.metrics.counter("serving.recovered_tail_labels").add(
+                len(report.tail_labels)
+            )
+            logger.warning(
+                "session %s: re-applied %d durable labels from the journal tail",
+                name,
+                len(report.tail_labels),
+            )
+
+    # ----------------------------------------------------------------- eviction
+    def _evictable_locked(self) -> ResidentSession | None:
+        candidates = [
+            entry
+            for entry in self._resident.values()
+            if entry.pins == 0 and not entry.vocal.session.iteration_open
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda entry: entry.last_used)
+
+    def _make_room_locked(self) -> None:
+        while len(self._resident) >= self.max_resident:
+            victim = self._evictable_locked()
+            if victim is None:
+                # Every resident session is pinned or mid-iteration.  Past
+                # the overshoot allowance the residency cap is hard: shed
+                # the admission and let the client retry once an iteration
+                # closes (mid-iteration sessions stay resident, so the step
+                # that closes one is never shed — no livelock).
+                if (
+                    self.max_overshoot is not None
+                    and len(self._resident) >= self.max_resident + self.max_overshoot
+                ):
+                    self._residency_sheds += 1
+                    self.metrics.counter("serving.residency_sheds").add(1)
+                    raise AdmissionError(
+                        f"no evictable session (resident={len(self._resident)}, "
+                        f"cap={self.max_resident}+{self.max_overshoot} overshoot); "
+                        "retry later"
+                    )
+                # Otherwise admit anyway (temporary overshoot) rather than
+                # deadlock — the next idle boundary brings the count back
+                # under the cap.
+                self._overshoots += 1
+                self.metrics.counter("serving.eviction_overshoots").add(1)
+                logger.warning(
+                    "no evictable session (resident=%d, cap=%d); overshooting",
+                    len(self._resident),
+                    self.max_resident,
+                )
+                return
+            self._evict_locked(victim)
+
+    def _evict_locked(self, entry: ResidentSession) -> None:
+        entry.vocal.checkpoint()
+        entry.vocal.close()
+        del self._resident[entry.name]
+        # A session's object graph is cyclic (scheduler/store backrefs), so
+        # dropping the last reference queues it for the *cycle* collector;
+        # until that runs, evicted instances pile up and the residency cap
+        # stops bounding RSS.  Collect now — eviction already pays for a
+        # checkpoint write, and this keeps memory release as deterministic
+        # as the eviction itself.
+        gc.collect()
+        self._evictions += 1
+        self.metrics.counter("serving.session_evictions").add(1)
+        self.metrics.gauge("serving.resident_sessions").set(len(self._resident))
+        logger.info("evicted session %s to disk", entry.name)
+
+    def evict(self, name: str) -> None:
+        """Explicitly page one idle session to disk.
+
+        Raises:
+            SessionNotFoundError: when the session is not resident.
+            ServingError: when the session is pinned by an in-flight request
+                or sits mid-iteration (labels outstanding).
+        """
+        with self._lock:
+            entry = self._resident.get(name)
+            if entry is None:
+                raise SessionNotFoundError(f"session {name!r} is not resident")
+            if entry.pins > 0:
+                raise ServingError(f"session {name!r} has in-flight requests")
+            if entry.vocal.session.iteration_open:
+                raise ServingError(
+                    f"session {name!r} is mid-iteration; finish it before evicting"
+                )
+            self._evict_locked(entry)
+
+    # ---------------------------------------------------------------- lifecycle
+    def checkpoint_all(self) -> int:
+        """Snapshot every resident session (open iterations are finished first).
+
+        Used by graceful server shutdown so a restarted server recovers every
+        session from its latest state.  Returns the number checkpointed.
+        """
+        count = 0
+        with self._lock:
+            for entry in self._resident.values():
+                with entry.lock:
+                    if entry.vocal.session.iteration_open:
+                        entry.vocal.finish_iteration()
+                    entry.vocal.checkpoint()
+                    count += 1
+        return count
+
+    def close(self) -> None:
+        """Checkpoint and release every resident session (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for entry in list(self._resident.values()):
+                with entry.lock:
+                    if entry.vocal.session.iteration_open:
+                        entry.vocal.finish_iteration()
+                    entry.vocal.checkpoint()
+                    entry.vocal.close()
+            self._resident.clear()
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ queries
+    def is_resident(self, name: str) -> bool:
+        """True when the session is currently in memory."""
+        with self._lock:
+            return name in self._resident
+
+    def resident_sessions(self) -> list[str]:
+        """Names of the sessions currently in memory, LRU first."""
+        with self._lock:
+            return [
+                entry.name
+                for entry in sorted(self._resident.values(), key=lambda e: e.last_used)
+            ]
+
+    def stats(self) -> dict:
+        """Lifecycle counters and per-resident-session detail."""
+        with self._lock:
+            resident = [
+                {
+                    "session": entry.name,
+                    "iteration": entry.vocal.session.iteration,
+                    "labels": len(entry.vocal.session.storage.labels),
+                    "pinned": entry.pins,
+                    "requests": entry.requests,
+                    "iteration_open": entry.vocal.session.iteration_open,
+                }
+                for entry in sorted(self._resident.values(), key=lambda e: e.last_used)
+            ]
+            return {
+                "resident": resident,
+                "resident_count": len(self._resident),
+                "max_resident": self.max_resident,
+                "max_sessions": self.max_sessions,
+                "sessions_on_disk": len(self.factory.list_sessions()),
+                "creates": self._creates,
+                "restores": self._restores,
+                "evictions": self._evictions,
+                "eviction_overshoots": self._overshoots,
+                "residency_sheds": self._residency_sheds,
+                "recovered_tail_labels": self._recovered_labels,
+            }

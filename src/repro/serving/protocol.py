@@ -1,0 +1,174 @@
+"""Newline-delimited JSON wire protocol for the serving layer.
+
+One request or response per line, UTF-8 encoded JSON, ``\\n``-terminated.
+Requests carry a client-chosen ``id`` (echoed back verbatim), an ``op``, and
+for session-scoped operations a ``session`` name::
+
+    {"id": 1, "op": "open", "session": "alice"}
+    {"id": 2, "op": "explore", "session": "alice", "batch_size": 5}
+    {"id": 3, "op": "label", "session": "alice",
+     "labels": [{"vid": 0, "start": 0.0, "end": 1.0, "label": "walk"}],
+     "finish": true}
+
+Responses are ``{"id": ..., "ok": true, "result": {...}}`` on success and
+``{"id": ..., "ok": false, "error": {"type": ..., "message": ...}}`` on
+failure.  The error ``type`` is the server-side exception class name, so
+clients can re-raise admission rejections distinctly from protocol bugs.
+
+Four operations are **request classes** for SLO accounting — ``explore``,
+``label``, ``search``, ``predict`` (the paper's T_s / labeling / similarity
+/ inference surfaces).  ``finish`` is accounted under ``label`` (it closes
+the labeling window the labels arrived in); pure control traffic (``open``,
+``stats``, ``close``, ``ping``, ``shutdown``) is not SLO-accounted.
+
+The module is transport-agnostic: it only turns dicts into framed lines and
+back, validating shape and size.  Both the asyncio server and the blocking
+client build on it, so a framing bug cannot diverge between the two.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Mapping
+
+from ..exceptions import ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "REQUEST_CLASSES",
+    "OPS",
+    "SESSION_OPS",
+    "ProtocolError",
+    "encode_message",
+    "decode_line",
+    "validate_request",
+    "request_class",
+    "ok_response",
+    "error_response",
+    "valid_session_name",
+]
+
+#: Bumped on incompatible wire changes; echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one framed message; longer lines are a protocol violation
+#: (prevents a misbehaving peer from ballooning server memory).
+MAX_LINE_BYTES = 1 << 20
+
+#: SLO-accounted request classes, in report order.
+REQUEST_CLASSES = ("explore", "label", "search", "predict")
+
+#: Every operation, mapped to its SLO request class (None = control traffic).
+OPS: Mapping[str, str | None] = {
+    "open": None,
+    "explore": "explore",
+    "label": "label",
+    "finish": "label",
+    "search": "search",
+    "predict": "predict",
+    "stats": None,
+    "close": None,
+    "ping": None,
+    "shutdown": None,
+}
+
+#: Operations that require a ``session`` field.
+SESSION_OPS = frozenset(
+    {"open", "explore", "label", "finish", "search", "predict", "close"}
+)
+
+#: Session names are path components on the server (checkpoint directories),
+#: so they are restricted to a safe charset with no traversal potential.
+_SESSION_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def valid_session_name(name: Any) -> bool:
+    """True when ``name`` is a legal session name (safe path component)."""
+    return isinstance(name, str) and bool(_SESSION_NAME.match(name)) and ".." not in name
+
+
+def encode_message(doc: Mapping[str, Any]) -> bytes:
+    """Frame one message: compact JSON, UTF-8, newline-terminated.
+
+    Raises:
+        ProtocolError: when the document is not JSON-serialisable or the
+            framed line exceeds :data:`MAX_LINE_BYTES`.
+    """
+    try:
+        line = json.dumps(doc, separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"message is not JSON-serialisable: {exc}") from exc
+    payload = line.encode("utf-8") + b"\n"
+    if len(payload) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the {MAX_LINE_BYTES}-byte frame limit"
+        )
+    return payload
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one framed line into a message dict.
+
+    Raises:
+        ProtocolError: on oversized, non-UTF-8, non-JSON, or non-object lines.
+    """
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"line of {len(line)} bytes exceeds the {MAX_LINE_BYTES}-byte frame limit"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"line is not valid UTF-8: {exc}") from exc
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"line is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError(f"message must be a JSON object, got {type(doc).__name__}")
+    return doc
+
+
+def validate_request(doc: Mapping[str, Any]) -> tuple[str, str | None]:
+    """Check one decoded request's shape; returns ``(op, session_name)``.
+
+    Raises:
+        ProtocolError: on a missing/unknown ``op``, a missing or illegal
+            ``session`` for session-scoped operations, or a missing ``id``.
+    """
+    if "id" not in doc:
+        raise ProtocolError("request is missing the 'id' field")
+    op = doc.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; known: {sorted(OPS)}")
+    session = doc.get("session")
+    if op in SESSION_OPS:
+        if not valid_session_name(session):
+            raise ProtocolError(
+                f"op {op!r} requires a session name matching "
+                f"[A-Za-z0-9][A-Za-z0-9._-]{{0,63}}, got {session!r}"
+            )
+        return op, session
+    return op, None
+
+
+def request_class(op: str) -> str | None:
+    """SLO request class for one operation (None for control traffic)."""
+    return OPS.get(op)
+
+
+def ok_response(request_id: Any, result: Mapping[str, Any]) -> dict:
+    """Build a success response echoing the request id."""
+    return {"id": request_id, "ok": True, "result": dict(result)}
+
+
+def error_response(request_id: Any, exc: BaseException) -> dict:
+    """Build an error response carrying the exception class name and message."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }

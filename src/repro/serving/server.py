@@ -1,0 +1,431 @@
+"""Asyncio front door for the multi-session serving layer.
+
+:class:`ExploreServer` listens on a TCP socket, speaks the newline-delimited
+JSON protocol (:mod:`.protocol`), and executes session work on a bounded
+worker pool so the event loop never blocks on model training or feature
+extraction.  Concurrency model:
+
+* the event loop owns connection I/O, framing, admission control, and SLO
+  timing;
+* session requests run on ``ServingConfig.worker_threads`` pool threads;
+  the :class:`~repro.serving.manager.SessionManager` serialises requests
+  *per session* while letting distinct sessions run concurrently;
+* when in-flight + queued requests exceed ``max_queue_depth`` the server
+  sheds load — an :class:`~repro.exceptions.AdmissionError` response is
+  returned immediately instead of queuing without bound.
+
+Every SLO-classed request (explore / label / search / predict) is timed from
+receipt to response and folded into a
+:class:`~repro.telemetry.slo.RequestClassAccountant`, whose per-class
+p50/p99/p999 roll-up is served by the ``stats`` operation and written into
+``BENCH_serving.json`` by the serving benchmark.
+
+:class:`ServerThread` runs the whole server on a private event loop in a
+daemon thread — the test suite, the CLI, and the benchmark all use it to
+host a server inside an otherwise synchronous process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..config import ServingConfig
+from ..exceptions import AdmissionError, ProtocolError, ServingError
+from ..telemetry.slo import RequestClassAccountant
+from ..types import Label
+from .manager import SessionManager
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+    request_class,
+    validate_request,
+)
+
+__all__ = ["ExploreServer", "ServerThread"]
+
+logger = logging.getLogger(__name__)
+
+
+def _segment_doc(segment) -> dict:
+    """Serialise one predicted video segment for the wire."""
+    prediction = segment.prediction
+    return {
+        "vid": segment.clip.vid,
+        "start": segment.clip.start,
+        "end": segment.clip.end,
+        "prediction": None
+        if prediction is None
+        else {
+            "top_label": prediction.top_label,
+            "top_probability": prediction.top_probability,
+            "probabilities": {
+                name: float(p) for name, p in sorted(prediction.probabilities.items())
+            },
+            "feature": prediction.feature_name,
+            "model_version": prediction.model_version,
+        },
+    }
+
+
+def _require_number(doc: Mapping[str, Any], key: str) -> float:
+    value = doc.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ProtocolError(f"field {key!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def _optional_int(doc: Mapping[str, Any], key: str) -> int | None:
+    value = doc.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"field {key!r} must be an integer, got {value!r}")
+    return value
+
+
+def _parse_labels(doc: Mapping[str, Any]) -> list[Label]:
+    raw = doc.get("labels")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("field 'labels' must be a non-empty list")
+    labels = []
+    for entry in raw:
+        if not isinstance(entry, dict):
+            raise ProtocolError(f"label entries must be objects, got {entry!r}")
+        try:
+            labels.append(
+                Label(
+                    vid=int(entry["vid"]),
+                    start=float(entry["start"]),
+                    end=float(entry["end"]),
+                    label=str(entry["label"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed label entry {entry!r}: {exc}") from exc
+    return labels
+
+
+class ExploreServer:
+    """Serves many exploration sessions over newline-delimited JSON."""
+
+    def __init__(self, manager: SessionManager, config: ServingConfig | None = None) -> None:
+        """Create a server over one session manager.
+
+        Args:
+            manager: Hosts the sessions (admission, LRU eviction, restore).
+            config: Listen address, worker pool, queue depth, SLO budgets.
+        """
+        self.manager = manager
+        self.config = config if config is not None else ServingConfig()
+        self.accountant = RequestClassAccountant(self.config.budgets())
+        self.metrics = manager.metrics
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.worker_threads, thread_name_prefix="serving"
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._stopping: asyncio.Event | None = None
+        self._inflight = 0
+        self.host: str | None = None
+        self.port: int | None = None
+
+    # ---------------------------------------------------------------- lifecycle
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns ``(host, port)``."""
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES + 2,
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        logger.info("serving on %s:%d", self.host, self.port)
+        return self.host, self.port
+
+    async def serve_until_stopped(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`request_stop`) arrives,
+        then shut down gracefully: checkpoint every resident session and close
+        the manager, so a restarted server recovers all of them.
+        """
+        if self._stopping is None:
+            raise ServingError("serve_until_stopped() requires start() first")
+        await self._stopping.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        await asyncio.get_running_loop().run_in_executor(
+            self._executor, self.manager.close
+        )
+        self._executor.shutdown(wait=True)
+        logger.info("server stopped; sessions checkpointed")
+
+    def request_stop(self) -> None:
+        """Signal :meth:`serve_until_stopped` to begin graceful shutdown."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    # --------------------------------------------------------------- connection
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Oversized frame: the line boundary is lost, so the
+                    # connection cannot be resynchronised — drop it.
+                    writer.write(
+                        encode_message(
+                            error_response(None, ProtocolError("frame too large"))
+                        )
+                    )
+                    break
+                if not line.strip():
+                    if not line:
+                        break  # EOF
+                    continue
+                response, stop_after = await self._serve_request(loop, line)
+                writer.write(encode_message(response))
+                await writer.drain()
+                if stop_after:
+                    self.request_stop()
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _serve_request(
+        self, loop: asyncio.AbstractEventLoop, line: bytes
+    ) -> tuple[dict, bool]:
+        """Decode, admit, execute, and account one request line."""
+        request_id: Any = None
+        try:
+            doc = decode_line(line)
+            request_id = doc.get("id")
+            op, _session = validate_request(doc)
+        except ProtocolError as exc:
+            self.metrics.counter("serving.protocol_errors").add(1)
+            return error_response(request_id, exc), False
+
+        if self._inflight >= self.config.max_queue_depth:
+            self.metrics.counter("serving.requests_shed").add(1)
+            return (
+                error_response(
+                    request_id,
+                    AdmissionError(
+                        f"server overloaded: {self._inflight} requests in flight "
+                        f"(queue depth {self.config.max_queue_depth}); retry later"
+                    ),
+                ),
+                False,
+            )
+
+        started = time.perf_counter()
+        self._inflight += 1
+        try:
+            result = await loop.run_in_executor(self._executor, self._execute, op, doc)
+            response = ok_response(request_id, result)
+        except Exception as exc:  # error responses, not connection teardown
+            self.metrics.counter("serving.request_errors").add(1)
+            response = error_response(request_id, exc)
+        finally:
+            self._inflight -= 1
+
+        slo_class = request_class(op)
+        if slo_class is not None:
+            verdict = self.accountant.observe(slo_class, time.perf_counter() - started)
+            self.metrics.histogram(f"serving.latency_s.{slo_class}").observe(
+                verdict.latency_s
+            )
+            self.metrics.counter(f"serving.requests.{slo_class}").add(1)
+            if verdict.violated:
+                self.metrics.counter(f"serving.slo_violations.{slo_class}").add(1)
+        return response, op == "shutdown" and response.get("ok", False)
+
+    # ----------------------------------------------------------------- dispatch
+    def _execute(self, op: str, doc: Mapping[str, Any]) -> dict:
+        """Execute one validated request on a worker thread."""
+        if op == "ping":
+            return {"pong": True, "version": PROTOCOL_VERSION}
+        if op == "stats":
+            return {"manager": self.manager.stats(), "slo": self.accountant.summary()}
+        if op == "shutdown":
+            return {"stopping": True}
+
+        name = doc["session"]
+        if op == "open":
+            return self.manager.open(name)
+        if op == "close":
+            with self.manager.acquire(name, create=False) as vocal:
+                if vocal.session.iteration_open:
+                    vocal.finish_iteration()
+            self.manager.evict(name)
+            return {"closed": name}
+
+        with self.manager.acquire(name, create=False) as vocal:
+            if op == "explore":
+                return self._execute_explore(vocal, doc)
+            if op == "label":
+                return self._execute_label(vocal, doc)
+            if op == "finish":
+                summary = vocal.finish_iteration()
+                return self._summary_doc(summary)
+            if op == "search":
+                return self._execute_search(vocal, doc)
+            if op == "predict":
+                segments = vocal.watch(
+                    int(_require_number(doc, "vid")),
+                    _require_number(doc, "start"),
+                    _require_number(doc, "end"),
+                )
+                return {"segments": [_segment_doc(segment) for segment in segments]}
+        raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover - validate_request gates
+
+    @staticmethod
+    def _summary_doc(summary) -> dict:
+        return {
+            "iteration": summary.iteration,
+            "acquisition": summary.acquisition,
+            "feature": summary.feature_name,
+            "labels_total": summary.num_labels_total,
+            "visible_latency_s": summary.visible_latency,
+        }
+
+    def _execute_explore(self, vocal, doc: Mapping[str, Any]) -> dict:
+        batch_size = _optional_int(doc, "batch_size")
+        clip_duration = doc.get("clip_duration")
+        if clip_duration is not None:
+            clip_duration = _require_number(doc, "clip_duration")
+        target = doc.get("label")
+        if target is not None and not isinstance(target, str):
+            raise ProtocolError(f"field 'label' must be a string, got {target!r}")
+        result = vocal.explore(batch_size, clip_duration, target)
+        return {
+            "iteration": result.iteration,
+            "acquisition": result.acquisition,
+            "feature": result.feature_name,
+            "visible_latency_s": result.visible_latency,
+            "segments": [_segment_doc(segment) for segment in result.segments],
+        }
+
+    def _execute_label(self, vocal, doc: Mapping[str, Any]) -> dict:
+        labels = _parse_labels(doc)
+        vocal.session.add_labels(labels)
+        finished = False
+        if doc.get("finish") and vocal.session.iteration_open:
+            vocal.finish_iteration()
+            finished = True
+        # With per-session checkpoint directories always configured, the
+        # labels are journaled + fsynced when add_labels returns: this ack
+        # means durable.
+        return {"stored": len(labels), "durable": True, "finished": finished}
+
+    def _execute_search(self, vocal, doc: Mapping[str, Any]) -> dict:
+        if "vector" in doc:
+            query: Any = np.asarray(doc["vector"], dtype=np.float64)
+        else:
+            query = (
+                int(_require_number(doc, "vid")),
+                _require_number(doc, "start"),
+                _require_number(doc, "end"),
+            )
+        k = _optional_int(doc, "k") or 10
+        feature = doc.get("feature")
+        if feature is not None and not isinstance(feature, str):
+            raise ProtocolError(f"field 'feature' must be a string, got {feature!r}")
+        hits = vocal.search(query, k=k, feature_name=feature)
+        return {
+            "hits": [
+                {
+                    "vid": hit.vid,
+                    "start": hit.start,
+                    "end": hit.end,
+                    "distance": hit.distance,
+                }
+                for hit in hits
+            ]
+        }
+
+
+class ServerThread:
+    """Runs an :class:`ExploreServer` on a private event loop in a thread.
+
+    Lets synchronous callers (tests, the benchmark, the CLI's foreground
+    mode) host a server without owning an asyncio loop themselves::
+
+        thread = ServerThread(manager, config)
+        host, port = thread.start()
+        ...  # drive it with ServingClient
+        thread.stop()
+    """
+
+    def __init__(self, manager: SessionManager, config: ServingConfig | None = None) -> None:
+        self.server = ExploreServer(manager, config)
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._startup_error: BaseException | None = None
+
+    def start(self, timeout: float = 10.0) -> tuple[str, int]:
+        """Start the loop thread; returns the bound ``(host, port)``.
+
+        Raises:
+            ServingError: when the server fails to bind within ``timeout``.
+        """
+        self._thread = threading.Thread(
+            target=self._run, name="serving-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServingError("server did not start in time")
+        if self._startup_error is not None:
+            raise ServingError(f"server failed to start: {self._startup_error}")
+        return self.server.host, self.server.port
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            try:
+                await self.server.start()
+            except BaseException as exc:  # surface bind errors to start()
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self.server.serve_until_stopped()
+
+        asyncio.run(main())
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the server stops on its own (a ``shutdown`` request);
+        returns True when it has stopped, False on timeout."""
+        if self._thread is None:
+            return True
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully stop the server and join the loop thread (idempotent)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        self._thread.join(timeout)
+        self._thread = None

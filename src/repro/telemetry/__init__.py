@@ -60,7 +60,7 @@ from .metrics import (
     MetricsRegistry,
 )
 from .runtime import TelemetryRun, active_run, shutdown, start_run
-from .slo import IterationSLO, SLOAccountant
+from .slo import IterationSLO, RequestClassAccountant, RequestSLO, SLOAccountant
 from .tracing import NULL_SPAN, NullSpan, Span, TaskScope, Tracer
 
 __all__ = [
@@ -100,6 +100,8 @@ __all__ = [
     "COUNT_BUCKETS",
     "SLOAccountant",
     "IterationSLO",
+    "RequestClassAccountant",
+    "RequestSLO",
     "JsonlTraceSink",
     "ChromeTraceSink",
     "MemorySink",

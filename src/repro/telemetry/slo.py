@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Mapping
 
-__all__ = ["IterationSLO", "SLOAccountant"]
+__all__ = ["IterationSLO", "SLOAccountant", "RequestSLO", "RequestClassAccountant"]
 
 
 @dataclass(frozen=True)
@@ -118,4 +119,140 @@ class SLOAccountant:
             "total_visible_s": sum(verdict.visible_latency for verdict in results),
             "worst": worst.to_record() if worst is not None else None,
             "per_iteration": [verdict.to_record() for verdict in results],
+        }
+
+
+@dataclass(frozen=True)
+class RequestSLO:
+    """Budget verdict for one served request."""
+
+    #: SLO request class the request belongs to (explore/label/search/predict).
+    request_class: str
+    #: Wall-clock latency from receipt to response, in seconds.
+    latency_s: float
+    #: Declared per-class budget, or None when the class is unbudgeted.
+    budget_s: float | None
+    #: True when a budget exists and the request exceeded it.
+    violated: bool
+    #: Seconds over budget (0.0 when within budget or unbudgeted).
+    overshoot_s: float
+
+    def to_record(self) -> dict:
+        """JSON-serialisable form written to trace sinks and stats replies."""
+        return {
+            "type": "request_slo",
+            "request_class": self.request_class,
+            "latency_s": self.latency_s,
+            "budget_s": self.budget_s,
+            "violated": self.violated,
+            "overshoot_s": self.overshoot_s,
+        }
+
+
+def _quantile(sorted_samples: list[float], q: float) -> float:
+    """Linear-interpolated quantile of pre-sorted samples (q in [0, 1])."""
+    if not sorted_samples:
+        return 0.0
+    position = q * (len(sorted_samples) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_samples) - 1)
+    fraction = position - low
+    return sorted_samples[low] * (1.0 - fraction) + sorted_samples[high] * fraction
+
+
+class RequestClassAccountant:
+    """Per-request-class SLO accounting for the serving layer.
+
+    Extends the single-session story (:class:`SLOAccountant` folds the
+    scheduler's per-iteration T_s records) to multi-user serving: every
+    served request is observed under its request class (explore / label /
+    search / predict), checked against that class's wall-clock budget, and
+    rolled up into count / violation / p50 / p99 / p999 tail-latency
+    statistics.
+
+    Raw samples are retained per class so the tail quantiles are exact —
+    appropriate for benchmark runs and test servers; a long-lived deployment
+    would swap in a sketch behind the same ``observe``/``summary`` surface.
+    """
+
+    def __init__(self, budgets_s: Mapping[str, float] | None = None) -> None:
+        """Create an accountant.
+
+        Args:
+            budgets_s: Per-class wall-clock budgets in seconds; classes
+                absent from the mapping are recorded without verdicts.
+
+        Raises:
+            ValueError: when any budget is not positive.
+        """
+        budgets = dict(budgets_s) if budgets_s else {}
+        for request_class, budget in budgets.items():
+            if budget <= 0:
+                raise ValueError(
+                    f"budget for {request_class!r} must be > 0, got {budget}"
+                )
+        self.budgets_s = budgets
+        self._samples: dict[str, list[float]] = {}
+        self._violations: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, request_class: str, latency_s: float) -> RequestSLO:
+        """Fold one served request into the accounting; returns its verdict."""
+        latency_s = float(latency_s)
+        budget = self.budgets_s.get(request_class)
+        violated = budget is not None and latency_s > budget
+        verdict = RequestSLO(
+            request_class=request_class,
+            latency_s=latency_s,
+            budget_s=budget,
+            violated=violated,
+            overshoot_s=(latency_s - budget) if violated else 0.0,
+        )
+        with self._lock:
+            self._samples.setdefault(request_class, []).append(latency_s)
+            if violated:
+                self._violations[request_class] = (
+                    self._violations.get(request_class, 0) + 1
+                )
+        return verdict
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def requests(self) -> int:
+        """Requests observed so far, across every class."""
+        with self._lock:
+            return sum(len(samples) for samples in self._samples.values())
+
+    @property
+    def violations(self) -> int:
+        """Requests that exceeded their class budget, across every class."""
+        with self._lock:
+            return sum(self._violations.values())
+
+    def class_summary(self, request_class: str) -> dict:
+        """Roll-up for one request class (zeroed when nothing was observed)."""
+        with self._lock:
+            samples = sorted(self._samples.get(request_class, ()))
+            violations = self._violations.get(request_class, 0)
+        budget = self.budgets_s.get(request_class)
+        return {
+            "request_class": request_class,
+            "count": len(samples),
+            "budget_s": budget,
+            "violations": violations,
+            "p50_s": _quantile(samples, 0.50),
+            "p99_s": _quantile(samples, 0.99),
+            "p999_s": _quantile(samples, 0.999),
+            "max_s": samples[-1] if samples else 0.0,
+            "mean_s": (sum(samples) / len(samples)) if samples else 0.0,
+        }
+
+    def summary(self) -> dict:
+        """JSON-serialisable roll-up over every observed class, report order."""
+        with self._lock:
+            classes = sorted(set(self._samples) | set(self.budgets_s))
+        return {
+            "requests": self.requests,
+            "violations": self.violations,
+            "classes": {name: self.class_summary(name) for name in classes},
         }

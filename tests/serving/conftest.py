@@ -1,0 +1,48 @@
+"""Shared fixtures for the serving-layer tests.
+
+Every test runs against the durability suite's micro dataset (the smallest
+corpus that still trains models) and a per-test session root, so evict /
+restore / crash-recovery cycles are cheap enough to repeat many times.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# The crash-injection harness lives with the durability tests (no package
+# __init__ files in the test tree, so import it by path like its own suite).
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "durability"))
+
+from harness import micro_dataset  # noqa: E402
+
+from repro.serving import CorpusSessionFactory, SessionManager  # noqa: E402
+
+#: The micro dataset generates exactly these extractors' features.
+CANDIDATE_FEATURES = ("r3d", "mvit")
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """Shared read-only corpus; sessions never mutate it."""
+    return micro_dataset(seed=3)
+
+
+@pytest.fixture
+def factory(dataset, tmp_path):
+    """Session factory over a fresh per-test durable root."""
+    return CorpusSessionFactory(
+        dataset,
+        tmp_path / "sessions",
+        base_seed=11,
+        candidate_features=CANDIDATE_FEATURES,
+    )
+
+
+@pytest.fixture
+def manager(factory):
+    """A two-resident manager (evictions start at the third session)."""
+    with SessionManager(factory, max_resident=2) as instance:
+        yield instance

@@ -1,0 +1,92 @@
+"""Property test: eviction is invisible (satellite of PR 8).
+
+For a seeded scripted user, pausing the script at a random closed-iteration
+boundary, paging the session to disk, and restoring it on the next request
+must leave the session *bit-identical* to one that never left memory: the
+same labels, model parameters, bandit accumulators, RNG streams, simulated
+clock, and per-iteration latency records — and the same responses to every
+subsequent request.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.serving import (
+    LocalSessionAdapter,
+    ScriptedUser,
+    SessionManager,
+    session_fingerprint,
+)
+
+
+def run_script(factory, name: str, seed: int, vocabulary, evict_at: int | None):
+    """Run one user's full script; optionally evict+restore at a boundary.
+
+    Returns ``(fingerprint, history, latency_records, labels)``.
+    """
+    user = ScriptedUser(name, seed, vocabulary, cycles=3)
+    with SessionManager(factory, max_resident=4) as manager:
+        manager.open(name)
+        adapter = LocalSessionAdapter(manager, name)
+        if evict_at is None:
+            user.run(adapter)
+        else:
+            user.run(adapter, stop=evict_at + 1)
+            manager.evict(name)  # checkpoint + release; restored on next use
+            assert not manager.is_resident(name)
+            user.run(adapter, start=evict_at + 1)
+        with manager.acquire(name) as vocal:
+            session = vocal.session
+            latencies = [
+                (rec.iteration, rec.visible_latency, rec.background_time_used)
+                for rec in session.scheduler.iteration_records()
+            ]
+            labels = sorted(
+                (label.vid, label.start, label.end, label.label)
+                for label in session.storage.labels.all()
+            )
+            fingerprint = session_fingerprint(vocal)
+        if evict_at is not None:
+            assert manager.stats()["restores"] == 1
+    return fingerprint, user.history, latencies, labels
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_evicted_and_restored_session_is_bit_identical(dataset, factory, seed):
+    name = f"user{seed}"
+    vocabulary = dataset.class_names
+    baseline = run_script(factory, name, seed, vocabulary, evict_at=None)
+
+    # The baseline manager checkpointed the session on close; start clean.
+    probe = ScriptedUser(name, seed, vocabulary, cycles=3)
+    boundary = random.Random(seed).choice(probe.closed_boundaries)
+
+    import shutil
+
+    shutil.rmtree(factory.root)
+    evicted = run_script(factory, name, seed, vocabulary, evict_at=boundary)
+
+    assert evicted[0] == baseline[0], (
+        f"state diverged after evict+restore at step {boundary}"
+    )
+    assert evicted[1] == baseline[1], "user-visible responses diverged"
+    assert evicted[2] == baseline[2], "latency records diverged"
+    assert evicted[3] == baseline[3], "stored labels diverged"
+
+
+def test_every_closed_boundary_is_safe(dataset, factory):
+    """Exhaustive sweep over one script: every legal pause point round-trips."""
+    import shutil
+
+    name = "sweep"
+    vocabulary = dataset.class_names
+    baseline = run_script(factory, name, 9, vocabulary, evict_at=None)
+    boundaries = ScriptedUser(name, 9, vocabulary, cycles=3).closed_boundaries
+    for boundary in boundaries:
+        shutil.rmtree(factory.root)
+        evicted = run_script(factory, name, 9, vocabulary, evict_at=boundary)
+        assert evicted[0] == baseline[0], f"diverged at boundary {boundary}"
+        assert evicted[1] == baseline[1]

@@ -1,0 +1,126 @@
+"""Session isolation under interleaving and concurrency (satellite of PR 8).
+
+Sessions share one read-only feature corpus but own private label stores,
+model registries, bandits, and RNG streams.  The proof of isolation used
+here: a session's final state must be *bit-identical* whether its script ran
+alone in its own manager or interleaved/concurrent with other sessions on a
+shared, eviction-pressured manager.  Any leak of labels, model updates, or
+bandit pulls across sessions would shift the fingerprint.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.serving import (
+    CorpusSessionFactory,
+    LocalSessionAdapter,
+    ScriptedUser,
+    SessionManager,
+    session_fingerprint,
+)
+
+USERS = ("alice", "bob", "carol", "dave")
+
+
+def make_factory(dataset, root):
+    return CorpusSessionFactory(
+        dataset, root, base_seed=11, candidate_features=("r3d", "mvit")
+    )
+
+
+def solo_outcome(dataset, root, name: str, seed: int):
+    """Run one user alone in a private manager; return (fingerprint, labels)."""
+    factory = make_factory(dataset, root)
+    user = ScriptedUser(name, seed, dataset.class_names, cycles=2)
+    with SessionManager(factory, max_resident=2) as manager:
+        manager.open(name)
+        user.run(LocalSessionAdapter(manager, name))
+        with manager.acquire(name) as vocal:
+            return session_fingerprint(vocal), list(user.acked_labels)
+
+
+@pytest.fixture(scope="module")
+def solo(dataset, tmp_path_factory):
+    """Baseline fingerprints: every user run in isolation."""
+    return {
+        name: solo_outcome(dataset, tmp_path_factory.mktemp(f"solo-{name}"), name, seed)
+        for seed, name in enumerate(USERS)
+    }
+
+
+def shared_fingerprints(manager, users):
+    results = {}
+    for name in USERS:
+        with manager.acquire(name) as vocal:
+            stored = sorted(
+                (label.vid, label.start, label.end, label.label)
+                for label in vocal.session.storage.labels.all()
+            )
+            assert stored == sorted(users[name].acked_labels), (
+                f"{name} observed labels it never sent"
+            )
+            results[name] = session_fingerprint(vocal)
+    return results
+
+
+@pytest.mark.parametrize("fuzz_seed", [0, 1])
+def test_interleaved_sessions_match_solo_runs(dataset, tmp_path, solo, fuzz_seed):
+    """Seeded fuzz: randomly interleave all scripts through one manager."""
+    factory = make_factory(dataset, tmp_path / "shared")
+    users = {
+        name: ScriptedUser(name, seed, dataset.class_names, cycles=2)
+        for seed, name in enumerate(USERS)
+    }
+    rng = random.Random(fuzz_seed)
+    with SessionManager(factory, max_resident=2) as manager:
+        for name in USERS:
+            manager.open(name)
+        adapters = {name: LocalSessionAdapter(manager, name) for name in USERS}
+        cursors = {name: 0 for name in USERS}
+        pending = [name for name in USERS if cursors[name] < len(users[name])]
+        while pending:
+            name = rng.choice(pending)
+            users[name].run_step(adapters[name], cursors[name])
+            cursors[name] += 1
+            pending = [n for n in USERS if cursors[n] < len(users[n])]
+        fingerprints = shared_fingerprints(manager, users)
+        stats = manager.stats()
+
+    # Eviction pressure was real (4 sessions, 2 resident), yet nothing leaked.
+    assert stats["evictions"] > 0
+    for name in USERS:
+        assert fingerprints[name] == solo[name][0], f"{name} diverged from solo run"
+
+
+def test_concurrent_clients_share_corpus_but_nothing_else(dataset, tmp_path, solo):
+    """Four threads drive four sessions through one manager simultaneously."""
+    factory = make_factory(dataset, tmp_path / "shared")
+    users = {
+        name: ScriptedUser(name, seed, dataset.class_names, cycles=2)
+        for seed, name in enumerate(USERS)
+    }
+    errors = []
+    with SessionManager(factory, max_resident=2) as manager:
+        for name in USERS:
+            manager.open(name)
+
+        def drive(name: str) -> None:
+            try:
+                users[name].run(LocalSessionAdapter(manager, name))
+            except Exception as exc:  # surfaced after join
+                errors.append((name, exc))
+
+        threads = [threading.Thread(target=drive, args=(name,)) for name in USERS]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        assert not errors, f"concurrent scripts failed: {errors}"
+        fingerprints = shared_fingerprints(manager, users)
+
+    for name in USERS:
+        assert fingerprints[name] == solo[name][0], f"{name} diverged from solo run"

@@ -1,0 +1,125 @@
+"""Unit tests for the newline-delimited JSON serving protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import AdmissionError, ProtocolError
+from repro.serving.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    REQUEST_CLASSES,
+    SESSION_OPS,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+    request_class,
+    valid_session_name,
+    validate_request,
+)
+
+
+class TestFraming:
+    def test_encode_round_trips_through_decode(self):
+        doc = {"id": 7, "op": "explore", "session": "alice", "batch_size": 3}
+        assert decode_line(encode_message(doc)) == doc
+
+    def test_encode_is_one_line(self):
+        line = encode_message({"op": "ping", "note": "a\nb"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_line(b"{nope\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_line(b"[1, 2]\n")
+
+    def test_decode_rejects_non_utf8(self):
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            decode_line(b"\xff\xfe\n")
+
+    def test_oversized_frames_rejected_both_ways(self):
+        huge = {"op": "ping", "pad": "x" * MAX_LINE_BYTES}
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_message(huge)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_line(json.dumps(huge).encode() + b"\n")
+
+
+class TestValidation:
+    def test_known_ops_round_trip(self):
+        for op in OPS:
+            doc = {"id": 1, "op": op}
+            if op in SESSION_OPS:
+                doc["session"] = "alice"
+            assert validate_request(doc)[0] == op
+
+    def test_request_requires_an_id(self):
+        with pytest.raises(ProtocolError, match="'id'"):
+            validate_request({"op": "ping"})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"id": 1, "op": "frobnicate"})
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"id": 1, "session": "alice"})
+
+    def test_session_ops_require_a_session(self):
+        for op in sorted(SESSION_OPS):
+            with pytest.raises(ProtocolError, match="session"):
+                validate_request({"id": 1, "op": op})
+
+    def test_illegal_session_name_rejected(self):
+        with pytest.raises(ProtocolError, match="session"):
+            validate_request({"id": 1, "op": "open", "session": "../escape"})
+
+    @pytest.mark.parametrize(
+        "name,ok",
+        [
+            ("alice", True),
+            ("user-7.v2_x", True),
+            ("a" * 64, True),
+            ("a" * 65, False),
+            ("", False),
+            (".hidden", False),
+            ("has space", False),
+            ("sub/dir", False),
+        ],
+    )
+    def test_session_name_grammar(self, name, ok):
+        assert valid_session_name(name) is ok
+
+
+class TestRequestClasses:
+    def test_slo_classes_cover_the_four_paper_operations(self):
+        assert REQUEST_CLASSES == ("explore", "label", "search", "predict")
+
+    def test_finish_accounts_as_label_work(self):
+        assert request_class("finish") == "label"
+
+    def test_control_ops_are_unaccounted(self):
+        for op in ("open", "stats", "close", "ping", "shutdown"):
+            assert request_class(op) is None
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        doc = ok_response(3, {"x": 1})
+        assert doc == {"id": 3, "ok": True, "result": {"x": 1}}
+
+    def test_error_response_carries_type_and_message(self):
+        doc = error_response(4, AdmissionError("full up"))
+        assert doc["ok"] is False
+        assert doc["error"]["type"] == "AdmissionError"
+        assert "full up" in doc["error"]["message"]
+
+    def test_error_response_without_id(self):
+        assert error_response(None, ProtocolError("bad"))["id"] is None

@@ -1,0 +1,234 @@
+"""End-to-end tests for the asyncio server and the blocking client."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.config import ServingConfig
+from repro.exceptions import (
+    AdmissionError,
+    ProtocolError,
+    ServingError,
+    SessionNotFoundError,
+)
+from repro.serving import (
+    RemoteSessionAdapter,
+    ScriptedUser,
+    ServerThread,
+    ServingClient,
+    SessionManager,
+    session_fingerprint,
+)
+from repro.serving.client import RemoteError
+from repro.serving.protocol import PROTOCOL_VERSION
+
+
+@pytest.fixture
+def server(factory):
+    """A live server over a fresh manager; stopped (and checkpointed) at exit."""
+    manager = SessionManager(factory, max_resident=2)
+    thread = ServerThread(
+        manager, ServingConfig(explore_slo_s=30.0, label_slo_s=30.0)
+    )
+    host, port = thread.start()
+    try:
+        yield {"host": host, "port": port, "manager": manager, "thread": thread}
+    finally:
+        thread.stop()
+
+
+@pytest.fixture
+def client(server):
+    with ServingClient(server["host"], server["port"]) as instance:
+        yield instance
+
+
+class TestControlPlane:
+    def test_ping_reports_protocol_version(self, client):
+        assert client.ping() == {"pong": True, "version": PROTOCOL_VERSION}
+
+    def test_unknown_session_raises_locally(self, client):
+        with pytest.raises(SessionNotFoundError):
+            client.explore("ghost", batch_size=2)
+
+    def test_malformed_line_gets_protocol_error_response(self, server):
+        with socket.create_connection((server["host"], server["port"]), timeout=10) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(b"this is not json\n")
+            handle.flush()
+            from repro.serving.protocol import decode_line
+
+            response = decode_line(handle.readline())
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+
+    def test_request_without_id_rejected(self, server):
+        with socket.create_connection((server["host"], server["port"]), timeout=10) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(b'{"op": "ping"}\n')
+            handle.flush()
+            from repro.serving.protocol import decode_line
+
+            response = decode_line(handle.readline())
+            assert response["ok"] is False
+            assert "id" in response["error"]["message"]
+
+    def test_stats_exposes_manager_and_slo_sections(self, client):
+        client.open("alice")
+        client.explore("alice", batch_size=2)
+        client.finish("alice")
+        stats = client.stats()
+        assert stats["manager"]["resident_count"] == 1
+        assert stats["slo"]["classes"]["explore"]["count"] == 1
+        # finish is accounted under the label class.
+        assert stats["slo"]["classes"]["label"]["count"] == 1
+        assert stats["slo"]["classes"]["explore"]["budget_s"] == 30.0
+
+
+class TestSessionOps:
+    def test_full_explore_label_cycle(self, client, dataset):
+        client.open("alice")
+        batch = client.explore("alice", batch_size=3)
+        assert batch["iteration"] == 1
+        assert len(batch["segments"]) == 3
+        ack = client.label(
+            "alice",
+            [(s["vid"], s["start"], s["end"], dataset.class_names[0]) for s in batch["segments"]],
+            finish=True,
+        )
+        assert ack == {"stored": 3, "durable": True, "finished": True}
+        summary = client.open("alice")
+        assert summary["iteration"] == 1
+        assert summary["labels"] == 3
+
+    def test_search_and_predict_round_trip(self, client, dataset):
+        client.open("alice")
+        batch = client.explore("alice", batch_size=2)
+        client.label(
+            "alice",
+            [(s["vid"], s["start"], s["end"], dataset.class_names[0]) for s in batch["segments"]],
+            finish=True,
+        )
+        clip = batch["segments"][0]
+        hits = client.search("alice", clip=(clip["vid"], clip["start"], clip["end"]), k=3)
+        assert len(hits["hits"]) == 3
+        assert all(h["distance"] >= 0 for h in hits["hits"])
+        prediction = client.predict("alice", clip["vid"], clip["start"], clip["end"])
+        assert len(prediction["segments"]) >= 1
+
+    def test_close_pages_session_to_disk(self, client, server):
+        client.open("alice")
+        assert server["manager"].is_resident("alice")
+        client.close_session("alice")
+        assert not server["manager"].is_resident("alice")
+        # Still reachable: the next request restores it from disk.
+        assert client.open("alice")["session"] == "alice"
+
+    def test_label_validation_errors_are_protocol_errors(self, client):
+        client.open("alice")
+        with pytest.raises(ProtocolError, match="labels"):
+            client._call("label", session="alice", labels=[])
+        with pytest.raises(ProtocolError, match="label entries"):
+            client._call("label", session="alice", labels=["nope"])
+
+    def test_application_errors_surface_as_remote_errors(self, client):
+        client.open("alice")
+        # Finishing with no open iteration is a session-level error.
+        with pytest.raises(RemoteError):
+            client.finish("alice")
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_admission_error(self, factory, monkeypatch):
+        manager = SessionManager(factory, max_resident=2)
+        thread = ServerThread(
+            manager, ServingConfig(max_queue_depth=1, worker_threads=2)
+        )
+        release = threading.Event()
+        original = thread.server._execute
+
+        def slow_execute(op, doc):
+            if doc.get("slow"):
+                release.wait(30)
+            return original(op, doc)
+
+        monkeypatch.setattr(thread.server, "_execute", slow_execute)
+        host, port = thread.start()
+        try:
+            with ServingClient(host, port) as blocker, ServingClient(host, port) as probe:
+                result: dict = {}
+
+                def occupy():
+                    result["slow"] = blocker._call("ping", slow=True)
+
+                worker = threading.Thread(target=occupy)
+                worker.start()
+                deadline = time.time() + 10
+                while thread.server._inflight < 1 and time.time() < deadline:
+                    time.sleep(0.01)
+                with pytest.raises(AdmissionError, match="overloaded"):
+                    probe.ping()
+                release.set()
+                worker.join(30)
+                assert result["slow"]["pong"] is True
+                # Capacity is back: the same client is served now.
+                assert probe.ping()["pong"] is True
+        finally:
+            release.set()
+            thread.stop()
+
+
+class TestRestartRecovery:
+    def test_restarted_server_recovers_every_session(self, dataset, factory):
+        users = {
+            name: ScriptedUser(name, seed, dataset.class_names, cycles=2)
+            for seed, name in enumerate(("alice", "bob", "carol"))
+        }
+        manager = SessionManager(factory, max_resident=2)
+        thread = ServerThread(manager, ServingConfig())
+        host, port = thread.start()
+        fingerprints = {}
+        try:
+            with ServingClient(host, port) as client:
+                for name, user in users.items():
+                    client.open(name)
+                    user.run(RemoteSessionAdapter(client, name))
+            for name in users:
+                with manager.acquire(name) as vocal:
+                    fingerprints[name] = session_fingerprint(vocal)
+        finally:
+            thread.stop()  # graceful: checkpoints every session
+
+        manager = SessionManager(factory, max_resident=2)
+        thread = ServerThread(manager, ServingConfig())
+        host, port = thread.start()
+        try:
+            with ServingClient(host, port) as client:
+                stats = client.stats()
+                assert stats["manager"]["sessions_on_disk"] == 3
+                for name in users:
+                    client.open(name)
+            for name in users:
+                with manager.acquire(name) as vocal:
+                    assert session_fingerprint(vocal) == fingerprints[name], (
+                        f"{name} did not survive the restart bit-identically"
+                    )
+        finally:
+            thread.stop()
+
+    def test_shutdown_op_stops_the_server(self, factory):
+        manager = SessionManager(factory, max_resident=2)
+        thread = ServerThread(manager, ServingConfig())
+        host, port = thread.start()
+        with ServingClient(host, port) as client:
+            client.open("alice")
+            assert client.shutdown() == {"stopping": True}
+        assert thread.wait(30)
+        # Graceful shutdown checkpointed the session.
+        assert factory.exists("alice")
+        with pytest.raises(ServingError):
+            manager.open("alice")  # manager is closed

@@ -1,0 +1,143 @@
+"""Crash injection across the serving evict/restore cycle (satellite of PR 8).
+
+Reuses the durability suite's :mod:`harness`: a recording pass enumerates
+every persistence fault point (write/fsync/rename/dirsync) a serving
+scenario crosses — journaled label appends, eviction checkpoints, the
+recovery re-checkpoint — then one armed pass per point simulates the server
+process dying exactly there.  After every crash a fresh manager (the
+"restarted server") must:
+
+* recover **every** session that was ever opened (none lost or orphaned);
+* retain **every acknowledged label** — a label whose ``add_labels`` call
+  returned before the crash was journaled and fsynced, so no crash point may
+  lose it;
+* leave each session consistent enough to keep exploring.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from harness import enumerate_fault_points, run_crashing_at
+
+from repro.serving import CorpusSessionFactory, LocalSessionAdapter, ScriptedUser, SessionManager
+
+SESSIONS = ("alice", "bob")
+
+
+class Scenario:
+    """One serving run: two sessions, eviction pressure, a restore, labels.
+
+    ``acked`` records every label *after* its ``add_labels`` returned — the
+    durable acknowledgements the crash must not lose.  Rebuilt fresh (new
+    root) for every armed run.
+    """
+
+    def __init__(self, dataset, root) -> None:
+        self.dataset = dataset
+        self.root = root
+        self.factory = CorpusSessionFactory(
+            dataset, root, base_seed=11, candidate_features=("r3d", "mvit")
+        )
+        self.acked: dict[str, list[tuple]] = {name: [] for name in SESSIONS}
+        self.opened: list[str] = []
+
+    def __call__(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+        for records in self.acked.values():
+            records.clear()
+        self.opened.clear()
+        # max_resident=1 forces a checkpoint-evict on every session switch and
+        # a restore on every switch back — the paths under test.
+        manager = SessionManager(self.factory, max_resident=1)
+        users = {
+            name: ScriptedUser(name, seed, self.dataset.class_names, cycles=2)
+            for seed, name in enumerate(SESSIONS)
+        }
+        # The manager is deliberately never closed: both the recording pass
+        # and every armed pass end like a killed server process — no graceful
+        # checkpoint.  Recovery must stand on the journal + snapshots alone.
+        for name in SESSIONS:
+            manager.open(name)
+            self.opened.append(name)
+        # Interleave cycles: each explore+label on one session evicts the
+        # other, so labels, snapshots, and restores alternate.
+        for cycle in range(2):
+            for name in SESSIONS:
+                user = users[name]
+                start = cycle * len(user.steps) // 2
+                stop = (cycle + 1) * len(user.steps) // 2
+                adapter = LocalSessionAdapter(manager, name)
+                for index in range(start, stop):
+                    before = len(user.acked_labels)
+                    user.run_step(adapter, index)
+                    self.acked[name].extend(user.acked_labels[before:])
+
+    def recover_and_check(self) -> None:
+        """Restart: a fresh manager over the same root must see everything."""
+        with SessionManager(self.factory, max_resident=1) as manager:
+            on_disk = self.factory.list_sessions()
+            assert sorted(self.opened) == sorted(on_disk), (
+                f"restart lost sessions: opened {self.opened}, recovered {on_disk}"
+            )
+            for name in self.opened:
+                with manager.acquire(name) as vocal:
+                    stored = {
+                        (label.vid, label.start, label.end, label.label)
+                        for label in vocal.session.storage.labels.all()
+                    }
+                    missing = set(self.acked[name]) - stored
+                    assert not missing, (
+                        f"{name} lost acknowledged labels after crash: {missing}"
+                    )
+                    # The recovered session keeps working.
+                    result = vocal.explore(batch_size=2)
+                    assert result.segments
+                    vocal.finish_iteration()
+
+
+@pytest.fixture(scope="module")
+def scenario(dataset, tmp_path_factory):
+    return Scenario(dataset, tmp_path_factory.mktemp("crash") / "root")
+
+
+@pytest.fixture(scope="module")
+def fault_points(scenario):
+    points = enumerate_fault_points(scenario)
+    assert len(points) > 10, "scenario crossed suspiciously few fault points"
+    return points
+
+
+def test_clean_run_recovers_everything(scenario, fault_points):
+    """Sanity: without a crash the scenario recovers all sessions/labels."""
+    scenario()
+    scenario.recover_and_check()
+
+
+def test_eviction_and_restore_cross_snapshot_fault_points(fault_points):
+    """The scenario exercises snapshots (eviction) and journal commits."""
+    kinds = {point.split(":", 1)[0] for point in fault_points}
+    assert {"write", "fsync", "rename"} <= kinds
+    assert any("snapshot" in point or "generation" in point for point in fault_points), (
+        f"no snapshot fault points crossed: {sorted(set(fault_points))[:20]}"
+    )
+
+
+def test_sampled_crash_points_lose_no_acknowledged_label(scenario, fault_points):
+    """Fast default subset: crash at evenly spaced points across the run."""
+    stride = max(1, len(fault_points) // 8)
+    for index in range(0, len(fault_points), stride):
+        outcome = run_crashing_at(scenario, index)
+        assert outcome.crashed, f"fault point {index} was not reached on replay"
+        scenario.recover_and_check()
+
+
+@pytest.mark.slow
+def test_every_crash_point_loses_no_acknowledged_label(scenario, fault_points):
+    """Exhaustive matrix: one armed run per fault point the scenario crosses."""
+    for index in range(len(fault_points)):
+        outcome = run_crashing_at(scenario, index)
+        assert outcome.crashed, f"fault point {index} was not reached on replay"
+        scenario.recover_and_check()
