@@ -19,6 +19,18 @@ loop.  Three gates, all of which fail the process (exit 1) when violated:
    eviction.
 3. **SLO accounting** — the report must carry p50/p99/p999 and budget
    verdicts for every request class (explore / label / search / predict).
+4. **Degraded mode** — the same scripted workload through a
+   :class:`ChaosProxy` injecting a recoverable network fault on every 10th
+   request (10% fault rate: connection resets, partial frames, duplicated
+   requests) must complete with **zero operations failed after retries**
+   and an overall p99 within 2× the fault-free p99 (plus a 50 ms absolute
+   slack for sub-100 ms baselines).  Stall faults are exercised by the
+   chaos test matrix instead — their latency cost is the client timeout
+   constant by construction, so "2× fault-free" would only measure it.
+5. **No regression** — when the committed ``BENCH_serving.json`` was
+   produced by the *same* workload configuration, the new fault-free
+   per-class p50/p99 must stay within 1.05× the committed numbers plus a
+   50 ms absolute slack.
 
 The run also sweeps arrival rates to locate the **saturation point** (offered
 load where shedding or tail blow-up begins) and reports **sessions-per-GB**
@@ -52,6 +64,7 @@ from repro.serving import (
     CorpusSessionFactory,
     LocalSessionAdapter,
     RemoteSessionAdapter,
+    RetryPolicy,
     ScriptedUser,
     ServerThread,
     ServingClient,
@@ -63,6 +76,8 @@ from repro.telemetry.slo import RequestClassAccountant
 logger = logging.getLogger(__name__)
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+#: The ChaosProxy fault-injection harness lives with the chaos tests.
+_CHAOS_DIR = Path(__file__).resolve().parent.parent / "tests" / "serving"
 
 #: Gate: peak RSS of the 4×K-session scenario vs the K-session scenario.
 MAX_RSS_RATIO = 1.5
@@ -71,6 +86,22 @@ BUDGETS = {"explore_slo_s": 5.0, "label_slo_s": 5.0, "search_slo_s": 5.0, "predi
 #: Saturation: offered load where more than this fraction of requests is shed.
 MAX_SHED_FRACTION = 0.05
 CANDIDATES = ("r3d", "mvit")
+#: Degraded mode: a fault on every Nth proxied request (10 = 10% fault rate).
+FAULT_PERIOD = 10
+#: Recoverable (non-stall) fault points cycled through in degraded mode.
+DEGRADED_FAULTS = (
+    "request_reset",
+    "request_partial",
+    "request_duplicate",
+    "response_reset",
+    "response_partial",
+)
+#: Gate: degraded-mode overall p99 vs fault-free, plus absolute slack.
+MAX_DEGRADED_P99_RATIO = 2.0
+DEGRADED_P99_SLACK_S = 0.05
+#: Gate: fault-free p50/p99 vs the committed artifact (same-config runs).
+MAX_REGRESSION_RATIO = 1.05
+REGRESSION_SLACK_S = 0.05
 
 
 def bench_dataset(num_videos: int):
@@ -326,6 +357,182 @@ def sweep_saturation(dataset, sessions: int, cycles: int, rates: list[float], se
     }
 
 
+# -------------------------------------------------------------- degraded mode
+class TimingAdapter:
+    """Wraps a session adapter, recording closed-loop per-op latency.
+
+    Latency is wall time around the whole adapter call — retries, backoff,
+    and reconnects included — which is exactly what a degraded network costs
+    the user, and what the degraded-mode p99 gate measures.
+    """
+
+    def __init__(self, inner, record) -> None:
+        """Wrap ``inner``; ``record(op, seconds)`` receives every timing."""
+        self.inner = inner
+        self._record = record
+
+    def explore(self, batch_size):
+        """Explore, timed."""
+        started = time.perf_counter()
+        result = self.inner.explore(batch_size)
+        self._record("explore", time.perf_counter() - started)
+        return result
+
+    def label(self, labels, finish):
+        """Label, timed."""
+        started = time.perf_counter()
+        result = self.inner.label(labels, finish)
+        self._record("label", time.perf_counter() - started)
+        return result
+
+    def search(self, clip, k):
+        """Search, timed."""
+        started = time.perf_counter()
+        result = self.inner.search(clip, k)
+        self._record("search", time.perf_counter() - started)
+        return result
+
+    def predict(self, vid, start, end):
+        """Predict, timed."""
+        started = time.perf_counter()
+        result = self.inner.predict(vid, start, end)
+        self._record("predict", time.perf_counter() - started)
+        return result
+
+
+def run_degraded_scenario(dataset, sessions: int, cycles: int, seed: int, faulty: bool) -> dict:
+    """Closed-loop scripted replay through a ChaosProxy; returns latency stats.
+
+    With ``faulty`` set, every :data:`FAULT_PERIOD`-th proxied request takes
+    one of :data:`DEGRADED_FAULTS` (deterministic rotation); retry-enabled
+    clients must absorb every fault.  The fault-free variant still routes
+    through the proxy so both runs pay the same extra network hop.
+    """
+    import numpy as np
+
+    if str(_CHAOS_DIR) not in sys.path:
+        sys.path.insert(0, str(_CHAOS_DIR))
+    from chaos import ChaosProxy
+
+    names = _session_names(sessions)
+    latencies: dict[str, list[float]] = {}
+    counters = {"retries": 0, "reconnects": 0}
+    failures: list[tuple[str, str]] = []
+    lock = threading.Lock()
+
+    def record(op: str, seconds: float) -> None:
+        with lock:
+            latencies.setdefault(op, []).append(seconds)
+
+    with tempfile.TemporaryDirectory() as root:
+        factory = CorpusSessionFactory(
+            dataset, root, base_seed=seed, candidate_features=CANDIDATES
+        )
+        manager = SessionManager(factory, max_resident=sessions)
+        thread = ServerThread(
+            manager, ServingConfig(worker_threads=4, max_queue_depth=256, **BUDGETS)
+        )
+        host, port = thread.start()
+        proxy = ChaosProxy(host, port)
+        try:
+            proxy_host, proxy_port = proxy.start()
+            if faulty:
+                # Upper bound on requests: one open plus every script step
+                # per session, with headroom for the retries faults cause.
+                budget = sessions * (cycles * 8 + 4)
+                for index, ordinal in enumerate(
+                    range(FAULT_PERIOD, budget, FAULT_PERIOD)
+                ):
+                    proxy.schedule(
+                        DEGRADED_FAULTS[index % len(DEGRADED_FAULTS)], at=ordinal
+                    )
+            users = {
+                name: ScriptedUser(name, seed + index, dataset.class_names, cycles=cycles)
+                for index, name in enumerate(names)
+            }
+
+            def drive(name: str) -> None:
+                try:
+                    policy = RetryPolicy(
+                        max_attempts=8, base_delay_s=0.02, max_delay_s=0.2, seed=seed
+                    )
+                    with ServingClient(
+                        proxy_host, proxy_port, timeout=30.0, retry=policy
+                    ) as client:
+                        client.open(name)
+                        adapter = TimingAdapter(
+                            RemoteSessionAdapter(client, name), record
+                        )
+                        users[name].run(adapter)
+                        with lock:
+                            counters["retries"] += client.retries
+                            counters["reconnects"] += client.reconnects
+                except BaseException as exc:  # a fault survived all retries
+                    with lock:
+                        failures.append((name, f"{type(exc).__name__}: {exc}"))
+
+            threads = [threading.Thread(target=drive, args=(name,)) for name in names]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(600)
+            faults_fired = list(proxy.fired)
+        finally:
+            proxy.stop()
+            thread.stop()
+
+    merged = sorted(value for values in latencies.values() for value in values)
+    stats = np.asarray(merged) if merged else np.asarray([0.0])
+    return {
+        "faulty": faulty,
+        "ops": len(merged),
+        "p50_s": float(np.percentile(stats, 50)),
+        "p99_s": float(np.percentile(stats, 99)),
+        "max_s": float(stats.max()),
+        "per_class_p99_s": {
+            op: float(np.percentile(np.asarray(values), 99))
+            for op, values in sorted(latencies.items())
+        },
+        "faults_fired": faults_fired,
+        "retries": counters["retries"],
+        "reconnects": counters["reconnects"],
+        "failed_after_retry": len(failures),
+        "failures": failures[:3],
+    }
+
+
+def regression_verdicts(previous: dict | None, report: dict) -> dict:
+    """Compare fault-free per-class p50/p99 against the committed artifact.
+
+    Only comparable runs gate: the stored workload configuration must equal
+    this run's (quick and full runs produce different workloads, and CI
+    machines only ever compare like with like because the artifact they
+    commit was produced by the same ``--quick`` invocation).
+    """
+    if not previous or previous.get("config") != report["config"]:
+        return {"comparable": False, "regressions": []}
+    regressions = []
+    checked = []
+    for request_class in ("explore", "label", "search", "predict"):
+        old = (previous.get("slo_per_class") or {}).get(request_class)
+        new = report["slo_per_class"].get(request_class)
+        if not old or not new:
+            continue
+        for quantile in ("p50_s", "p99_s"):
+            limit = old[quantile] * MAX_REGRESSION_RATIO + REGRESSION_SLACK_S
+            entry = {
+                "class": request_class,
+                "quantile": quantile,
+                "old_s": old[quantile],
+                "new_s": new[quantile],
+                "limit_s": limit,
+            }
+            checked.append(entry)
+            if new[quantile] > limit:
+                regressions.append(entry)
+    return {"comparable": True, "checked": checked, "regressions": regressions}
+
+
 # ----------------------------------------------------------------------- main
 def main(argv: list[str] | None = None) -> int:
     """Run every gate; returns a process exit code."""
@@ -343,9 +550,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.quick:
         resident, videos, cycles, rate_hz = 2, 10, 2, 2.0
         sweep_rates = [0.25, 1.0, 4.0]
+        degraded_sessions, degraded_cycles = 3, 3
     else:
         resident, videos, cycles, rate_hz = 4, 14, 3, 2.0
         sweep_rates = [0.25, 1.0, 4.0, 16.0]
+        degraded_sessions, degraded_cycles = 4, 4
 
     base = dict(
         videos=videos,
@@ -385,6 +594,26 @@ def main(argv: list[str] | None = None) -> int:
             f"shed {level['shed_fraction']:.1%}"
         )
 
+    logger.info("== degraded mode (10% injected network faults) ==")
+    degraded_dataset = bench_dataset(videos)
+    fault_free = run_degraded_scenario(
+        degraded_dataset, degraded_sessions, degraded_cycles, seed=31, faulty=False
+    )
+    degraded = run_degraded_scenario(
+        degraded_dataset, degraded_sessions, degraded_cycles, seed=31, faulty=True
+    )
+    logger.info(
+        f"fault-free: {fault_free['ops']} ops  p50 {fault_free['p50_s'] * 1e3:.1f}ms  "
+        f"p99 {fault_free['p99_s'] * 1e3:.1f}ms"
+    )
+    logger.info(
+        f"degraded:   {degraded['ops']} ops  p50 {degraded['p50_s'] * 1e3:.1f}ms  "
+        f"p99 {degraded['p99_s'] * 1e3:.1f}ms  "
+        f"faults {len(degraded['faults_fired'])}  retries {degraded['retries']}  "
+        f"reconnects {degraded['reconnects']}  "
+        f"failed after retry {degraded['failed_after_retry']}"
+    )
+
     rss_ratio = large["peak_rss_kb"] / small["peak_rss_kb"]
     # Memory the large scenario added per *extra named session* beyond the
     # resident set, and the resident envelope itself, both from measured RSS.
@@ -402,6 +631,26 @@ def main(argv: list[str] | None = None) -> int:
         "sessions_per_gb": sessions_per_gb,
         "saturation": sweep,
         "slo_per_class": large["slo"]["classes"],
+        "degraded_mode": {
+            "fault_period": FAULT_PERIOD,
+            "fault_points": list(DEGRADED_FAULTS),
+            "fault_free": fault_free,
+            "degraded": degraded,
+            "p99_ratio_gate": MAX_DEGRADED_P99_RATIO,
+            "p99_slack_s": DEGRADED_P99_SLACK_S,
+        },
+    }
+    previous = None
+    if ARTIFACT.exists():
+        try:
+            previous = json.loads(ARTIFACT.read_text())
+        except (OSError, json.JSONDecodeError):
+            previous = None
+    regression = regression_verdicts(previous, report)
+    report["regression"] = {
+        **regression,
+        "max_ratio": MAX_REGRESSION_RATIO,
+        "slack_s": REGRESSION_SLACK_S,
     }
     ARTIFACT.write_text(json.dumps(report, indent=2))
 
@@ -440,6 +689,45 @@ def main(argv: list[str] | None = None) -> int:
         )
     if not complete:
         failures += 1
+
+    degraded_limit = (
+        fault_free["p99_s"] * MAX_DEGRADED_P99_RATIO + DEGRADED_P99_SLACK_S
+    )
+    logger.info(
+        f"degraded mode: p99 {degraded['p99_s'] * 1e3:.1f}ms vs limit "
+        f"{degraded_limit * 1e3:.1f}ms "
+        f"({MAX_DEGRADED_P99_RATIO}x fault-free + {DEGRADED_P99_SLACK_S * 1e3:.0f}ms), "
+        f"{degraded['failed_after_retry']} ops failed after retry (gate: 0, "
+        f"faults fired: {len(degraded['faults_fired'])} > 0)"
+    )
+    if (
+        degraded["p99_s"] > degraded_limit
+        or degraded["failed_after_retry"] > 0
+        or not degraded["faults_fired"]
+    ):
+        failures += 1
+
+    if regression["comparable"]:
+        worst = regression["regressions"]
+        logger.info(
+            f"fault-free regression vs committed artifact: "
+            f"{len(worst)} violations over {len(regression['checked'])} checks "
+            f"(gate: p50/p99 <= {MAX_REGRESSION_RATIO}x old + "
+            f"{REGRESSION_SLACK_S * 1e3:.0f}ms)"
+        )
+        for entry in worst:
+            logger.info(
+                f"  REGRESSED {entry['class']}.{entry['quantile']}: "
+                f"{entry['new_s'] * 1e3:.1f}ms > limit {entry['limit_s'] * 1e3:.1f}ms "
+                f"(was {entry['old_s'] * 1e3:.1f}ms)"
+            )
+        if worst:
+            failures += 1
+    else:
+        logger.info(
+            "fault-free regression gate skipped: no committed artifact from "
+            "this workload configuration"
+        )
 
     logger.info("")
     logger.info(f"sessions-per-GB (overcommitted scenario): {sessions_per_gb:.1f}")

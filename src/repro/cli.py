@@ -211,6 +211,18 @@ def build_parser() -> argparse.ArgumentParser:
             f"--{request_class}-slo", type=float, default=None, metavar="SECONDS",
             help=f"wall-clock SLO budget for {request_class} requests",
         )
+        serve.add_argument(
+            f"--{request_class}-deadline", type=float, default=None,
+            metavar="SECONDS",
+            help=f"wall-clock deadline for {request_class} requests; late "
+            "work is cancelled cooperatively and answered with a typed "
+            "DeadlineExceededError (safe to retry)",
+        )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-shutdown bound: how long in-flight requests may "
+        "finish while new ones are shed, before sessions are checkpointed",
+    )
     serve.add_argument(
         "--duration", type=float, default=None, metavar="SECONDS",
         help="stop gracefully after this long (default: run until a client "
@@ -366,6 +378,11 @@ def _run_serve(args: argparse.Namespace) -> str:
         label_slo_s=args.label_slo,
         search_slo_s=args.search_slo,
         predict_slo_s=args.predict_slo,
+        explore_deadline_s=args.explore_deadline,
+        label_deadline_s=args.label_deadline,
+        search_deadline_s=args.search_deadline,
+        predict_deadline_s=args.predict_deadline,
+        drain_timeout_s=args.drain_timeout,
     )
     dataset = build_dataset(args.dataset, seed=args.seed)
     factory = CorpusSessionFactory(dataset, args.root, base_seed=args.seed)

@@ -341,6 +341,19 @@ class ServingConfig:
     label_slo_s: float | None = None
     search_slo_s: float | None = None
     predict_slo_s: float | None = None
+    #: Per-request-class wall-clock deadlines in seconds (None = no deadline
+    #: for that class).  A request past its deadline is cancelled
+    #: cooperatively at the next scheduler boundary and answered with a
+    #: ``DeadlineExceededError``; the session stays healthy and the request
+    #: is safe to retry.
+    explore_deadline_s: float | None = None
+    label_deadline_s: float | None = None
+    search_deadline_s: float | None = None
+    predict_deadline_s: float | None = None
+    #: Seconds a graceful shutdown waits for in-flight requests to finish
+    #: (new requests are shed while draining) before checkpointing every
+    #: resident session and closing the manager.
+    drain_timeout_s: float = 10.0
 
     def __post_init__(self) -> None:
         if self.max_resident_sessions < 1:
@@ -351,10 +364,16 @@ class ServingConfig:
             raise ValueError("max_queue_depth must be >= 1")
         if self.worker_threads < 1:
             raise ValueError("worker_threads must be >= 1")
-        for name in ("explore_slo_s", "label_slo_s", "search_slo_s", "predict_slo_s"):
+        for name in (
+            "explore_slo_s", "label_slo_s", "search_slo_s", "predict_slo_s",
+            "explore_deadline_s", "label_deadline_s", "search_deadline_s",
+            "predict_deadline_s",
+        ):
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be > 0 when set")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be > 0")
 
     def budgets(self) -> dict[str, float]:
         """Per-request-class budget mapping (unbudgeted classes omitted)."""
@@ -365,6 +384,16 @@ class ServingConfig:
             "predict": self.predict_slo_s,
         }
         return {name: budget for name, budget in pairs.items() if budget is not None}
+
+    def deadlines(self) -> dict[str, float]:
+        """Per-request-class deadline mapping (undeadlined classes omitted)."""
+        pairs = {
+            "explore": self.explore_deadline_s,
+            "label": self.label_deadline_s,
+            "search": self.search_deadline_s,
+            "predict": self.predict_deadline_s,
+        }
+        return {name: deadline for name, deadline in pairs.items() if deadline is not None}
 
 
 @dataclass(frozen=True)

@@ -76,6 +76,24 @@ class SessionNotFoundError(ServingError):
     """Raised when a named serving session does not exist."""
 
 
+class DeadlineExceededError(ServingError):
+    """Raised when a request exceeds its per-class wall-clock deadline.
+
+    The request's work is cancelled cooperatively at the next scheduler
+    boundary; the session itself stays healthy (rolled back if the request
+    had already mutated state) and the request is safe to retry.
+    """
+
+
+class SessionQuarantinedError(ServingError):
+    """Raised when a session was quarantined after an unexpected failure.
+
+    The supervisor rolled the session back to its last durable checkpoint
+    (re-applying the journal tail), so no acknowledged label is lost; the
+    error message carries a recovery report describing what was restored.
+    """
+
+
 class ModelError(ReproError):
     """Raised by the model manager."""
 

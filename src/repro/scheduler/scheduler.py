@@ -96,6 +96,12 @@ class TaskScheduler:
         # staying bit-identical to the recomputed left-to-right sum.
         self._closed_visible_total = 0.0
         self.idle_task_factory: Callable[[], Task | None] | None = None
+        #: Cooperative cancellation hook.  When set, the scheduler calls it
+        #: at every dispatch boundary — foreground entry and each background
+        #: pop — and the callable may raise to abort further dispatch (e.g.
+        #: a serving deadline).  Raising never loses queued tasks: the gate
+        #: fires before any task leaves the queue.
+        self.preemption_gate: Callable[[], None] | None = None
 
     # ------------------------------------------------------------- iterations
     def begin_iteration(self, iteration: int) -> IterationLatency:
@@ -161,6 +167,8 @@ class TaskScheduler:
     # ------------------------------------------------------------- foreground
     def run_foreground(self, task: Task) -> CompletedTask:
         """Run a task synchronously; its duration becomes visible latency."""
+        if self.preemption_gate is not None:
+            self.preemption_gate()
         self._ensure_open_record()
         return self.engine.run_foreground(self, task)
 
@@ -183,6 +191,10 @@ class TaskScheduler:
 
     def _pop_available(self, now: float) -> Task | None:
         """Pop the highest-priority task whose availability time has passed."""
+        if self.preemption_gate is not None:
+            # Gate before touching the heap: a raising gate must not strand
+            # popped-but-undispatched tasks outside the queue.
+            self.preemption_gate()
         deferred: list[tuple[int, int, Task]] = []
         chosen: Task | None = None
         while self._queue:

@@ -1,14 +1,35 @@
-"""Thin blocking client for the serving protocol.
+"""Thin blocking client for the serving protocol, with fault tolerance.
 
-:class:`ServingClient` opens one TCP connection, frames requests as
-newline-delimited JSON (:mod:`.protocol`), and exposes each server
-operation as a method returning the decoded ``result`` document.  Error
-responses are re-raised locally: admission rejections surface as
+:class:`ServingClient` frames requests as newline-delimited JSON
+(:mod:`.protocol`) over one TCP connection and exposes each server operation
+as a method returning the decoded ``result`` document.  Error responses are
+re-raised locally: admission rejections surface as
 :class:`~repro.exceptions.AdmissionError` (so callers can back off and
 retry), unknown sessions as
 :class:`~repro.exceptions.SessionNotFoundError`, protocol violations as
-:class:`~repro.exceptions.ProtocolError`, and anything else as
+:class:`~repro.exceptions.ProtocolError`, deadline hits as
+:class:`~repro.exceptions.DeadlineExceededError`, quarantines as
+:class:`~repro.exceptions.SessionQuarantinedError`, and anything else as
 :class:`RemoteError` carrying the server-side exception type.
+
+Fault tolerance:
+
+* **Broken-connection tracking** — any socket timeout, torn connection,
+  unreadable reply, or out-of-sync response id marks the connection broken
+  (:class:`ConnectionBrokenError`); the next call tears it down and
+  reconnects instead of reading a stale reply off the old stream.
+* **Retries** — construct with a
+  :class:`~repro.serving.resilience.RetryPolicy` and the client retries
+  :class:`~repro.exceptions.AdmissionError` (shed requests) and broken
+  connections with jittered exponential backoff under an attempt cap and an
+  optional wall-clock budget.  Counters (:attr:`ServingClient.retries`,
+  :attr:`ServingClient.reconnects`) expose how hard it had to try.
+* **Exactly-once labels** — every ``label`` request carries an idempotency
+  token, stable across the retries of one logical call, so a retried ack is
+  applied exactly once server-side (the replayed response carries
+  ``"replayed": true``).  Retried ``explore`` calls are at-least-once: a
+  lost explore response leaves an open iteration the server folds into the
+  next explore.
 
 The client is deliberately synchronous — scripted users in the benchmark
 and the test suite each drive their own connection from a plain thread.
@@ -17,18 +38,31 @@ and the test suite each drive their own connection from a plain thread.
 from __future__ import annotations
 
 import itertools
+import os
 import socket
+import time
 from typing import Any, Iterable, Mapping, Sequence
 
 from ..exceptions import (
     AdmissionError,
+    DeadlineExceededError,
     ProtocolError,
     ServingError,
     SessionNotFoundError,
+    SessionQuarantinedError,
 )
 from .protocol import decode_line, encode_message
+from .resilience import RetryPolicy
 
-__all__ = ["RemoteError", "ServingClient"]
+__all__ = ["ConnectionBrokenError", "RemoteError", "ServingClient"]
+
+
+class ConnectionBrokenError(ServingError):
+    """The connection is unusable (timeout, torn socket, or framing loss).
+
+    The client marks itself broken when raising this: the next call (or the
+    next retry attempt) reconnects instead of reusing the poisoned stream.
+    """
 
 
 class RemoteError(ServingError):
@@ -47,7 +81,14 @@ _LOCAL_ERRORS = {
     "AdmissionError": AdmissionError,
     "SessionNotFoundError": SessionNotFoundError,
     "ProtocolError": ProtocolError,
+    "DeadlineExceededError": DeadlineExceededError,
+    "SessionQuarantinedError": SessionQuarantinedError,
+    "ServingError": ServingError,
 }
+
+#: Failures worth retrying: shed requests never started executing, and a
+#: broken connection is repaired by the reconnect the next attempt performs.
+_RETRYABLE = (AdmissionError, ConnectionBrokenError)
 
 
 class ServingClient:
@@ -55,36 +96,115 @@ class ServingClient:
 
     Usage::
 
-        with ServingClient(host, port) as client:
+        with ServingClient(host, port, retry=RetryPolicy()) as client:
             client.open("alice")
             batch = client.explore("alice", batch_size=5)
             client.label("alice", [...], finish=True)
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         """Connect to a server.
 
         Args:
             host: Server host.
             port: Server port.
             timeout: Socket timeout in seconds for connect and each reply.
+            retry: Backoff policy for shed requests and broken connections;
+                ``None`` (default) fails fast on the first error.
         """
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.settimeout(timeout)
-        self._file = self._sock.makefile("rwb")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry = retry
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._broken = False
         self._ids = itertools.count(1)
+        self._token_ids = itertools.count(1)
+        # Unique per client instance so tokens from two clients (or two
+        # incarnations of one) never collide in the server's replay cache.
+        self._token_tag = os.urandom(6).hex()
+        #: Retries performed across all calls (observability for tests/bench).
+        self.retries = 0
+        #: Reconnections performed after the initial connect.
+        self.reconnects = 0
+        self._connect()
 
     # ----------------------------------------------------------------- plumbing
-    def _call(self, op: str, **payload: Any) -> dict:
-        """Send one request and block for its response ``result`` document."""
-        request = {"id": next(self._ids), "op": op}
-        request.update({key: value for key, value in payload.items() if value is not None})
-        self._file.write(encode_message(request))
-        self._file.flush()
-        line = self._file.readline()
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._sock.settimeout(self._timeout)
+        self._file = self._sock.makefile("rwb")
+        self._broken = False
+
+    def _teardown(self) -> None:
+        """Drop the current socket (best-effort; never raises)."""
+        try:
+            if self._file is not None:
+                self._file.close()
+        except OSError:
+            pass
+        finally:
+            self._file = None
+        try:
+            if self._sock is not None:
+                self._sock.close()
+        except OSError:
+            pass
+        finally:
+            self._sock = None
+
+    def _mark_broken(self) -> None:
+        """Poison the connection: the next call must reconnect, because the
+        stream may hold a stale or partial reply that would answer the wrong
+        request."""
+        self._broken = True
+
+    def _ensure_connection(self) -> None:
+        if self._broken:
+            self._teardown()
+        if self._sock is None:
+            self._connect()
+            self.reconnects += 1
+
+    def _roundtrip(self, request: Mapping[str, Any]) -> dict:
+        """One request/response exchange on a healthy connection."""
+        self._ensure_connection()
+        try:
+            self._file.write(encode_message(request))
+            self._file.flush()
+            line = self._file.readline()
+        except socket.timeout as exc:
+            self._mark_broken()
+            raise ConnectionBrokenError(
+                f"timed out after {self._timeout}s waiting for the reply to "
+                f"request {request['id']}; connection marked broken"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            self._mark_broken()
+            raise ConnectionBrokenError(f"connection failed: {exc}") from exc
         if not line:
-            raise ServingError("server closed the connection")
-        response = decode_line(line)
+            self._mark_broken()
+            raise ConnectionBrokenError("server closed the connection")
+        try:
+            response = decode_line(line)
+        except ProtocolError as exc:
+            self._mark_broken()
+            raise ConnectionBrokenError(f"unreadable reply (framing lost): {exc}") from exc
+        if response.get("id") != request["id"]:
+            self._mark_broken()
+            raise ConnectionBrokenError(
+                f"out-of-sync reply: expected id {request['id']}, "
+                f"got {response.get('id')!r}"
+            )
         if response.get("ok"):
             result = response.get("result")
             return result if isinstance(result, dict) else {}
@@ -96,12 +216,33 @@ class ServingClient:
             raise local(message)
         raise RemoteError(remote_type, message)
 
+    def _call(self, op: str, **payload: Any) -> dict:
+        """Send one logical request, retrying per the policy when configured.
+
+        The request document (id and any idempotency token included) is
+        built once and resent verbatim on every attempt, which is what makes
+        a retried ``label`` ack replayable server-side.
+        """
+        request = {"id": next(self._ids), "op": op}
+        request.update(
+            {key: value for key, value in payload.items() if value is not None}
+        )
+        attempt = 1
+        started = time.monotonic()
+        while True:
+            try:
+                return self._roundtrip(request)
+            except _RETRYABLE:
+                elapsed = time.monotonic() - started
+                if self._retry is None or not self._retry.should_retry(attempt, elapsed):
+                    raise
+                self.retries += 1
+                time.sleep(self._retry.delay(attempt))
+                attempt += 1
+
     def close(self) -> None:
         """Close the connection (idempotent); server sessions stay resident."""
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServingClient":
         return self
@@ -139,11 +280,15 @@ class ServingClient:
         session: str,
         labels: Iterable[Mapping[str, Any] | Sequence[Any]],
         finish: bool = False,
+        token: str | None = None,
     ) -> dict:
         """Durably store labels; ``finish=True`` also closes the iteration.
 
         Each label is a ``{vid, start, end, label}`` mapping or a
-        ``(vid, start, end, label)`` sequence.
+        ``(vid, start, end, label)`` sequence.  Every call carries an
+        idempotency ``token`` (auto-generated unless given), stable across
+        the retries of this one call, so the server applies a retried batch
+        exactly once and replays the cached ack (``"replayed": true``).
         """
         docs = []
         for entry in labels:
@@ -152,7 +297,11 @@ class ServingClient:
             else:
                 vid, start, end, label_name = entry
                 docs.append({"vid": vid, "start": start, "end": end, "label": label_name})
-        return self._call("label", session=session, labels=docs, finish=finish or None)
+        if token is None:
+            token = f"{self._token_tag}-{next(self._token_ids)}"
+        return self._call(
+            "label", session=session, labels=docs, finish=finish or None, token=token
+        )
 
     def finish(self, session: str) -> dict:
         """Close the current iteration; returns its summary."""

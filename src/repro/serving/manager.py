@@ -36,14 +36,23 @@ import itertools
 import logging
 import threading
 import zlib
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import replace
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
 from ..config import VocalExploreConfig
 from ..core.api import VOCALExplore
-from ..exceptions import AdmissionError, ServingError, SessionNotFoundError
+from ..exceptions import (
+    AdmissionError,
+    DeadlineExceededError,
+    ProtocolError,
+    ReproError,
+    ServingError,
+    SessionNotFoundError,
+    SessionQuarantinedError,
+)
 from ..telemetry.metrics import MetricsRegistry
 from .protocol import valid_session_name
 
@@ -154,7 +163,7 @@ class CorpusSessionFactory:
 class ResidentSession:
     """Bookkeeping for one in-memory session."""
 
-    __slots__ = ("name", "vocal", "lock", "pins", "last_used", "requests")
+    __slots__ = ("name", "vocal", "lock", "pins", "last_used", "requests", "poisoned")
 
     def __init__(self, name: str, vocal: VOCALExplore) -> None:
         self.name = name
@@ -167,6 +176,12 @@ class ResidentSession:
         self.last_used = 0
         #: Requests served by this resident instance.
         self.requests = 0
+        #: Set when a supervised rollback itself failed: the in-memory state
+        #: is untrusted and must *never* be checkpointed (the durable state
+        #: on disk is the recovery point).  Requests queued on the entry are
+        #: refused and the instance is discarded and rebuilt from disk once
+        #: unpinned.
+        self.poisoned = False
 
 
 class SessionManager:
@@ -222,6 +237,16 @@ class SessionManager:
         self._overshoots = 0
         self._residency_sheds = 0
         self._recovered_labels = 0
+        self._quarantines = 0
+        self._rollbacks = 0
+        self._rollback_failures = 0
+        # Idempotency-token registry for exactly-once label application.
+        # Keyed at the manager (not the resident entry) so cached acks
+        # survive eviction; a dedicated leaf lock keeps the registry out of
+        # the `_lock -> entry.lock` ordering entirely.
+        self._idem_lock = threading.Lock()
+        self._idempotency: dict[str, OrderedDict[str, dict]] = {}
+        self._idempotency_cache_size = 256
 
     # --------------------------------------------------------------- admission
     def _admit_locked(self, name: str, create: bool) -> None:
@@ -253,14 +278,8 @@ class SessionManager:
 
     # ------------------------------------------------------------------ hosting
     @contextmanager
-    def acquire(self, name: str, create: bool = True) -> Iterator[VOCALExplore]:
-        """Pin a session into memory and yield it, serialised per session.
-
-        Restores the session from its checkpoint when it was evicted (or
-        survives from a previous process), evicting the LRU idle session
-        first when at capacity.  Work inside the ``with`` block holds only
-        this session's lock, so distinct sessions run concurrently.
-        """
+    def _pinned(self, name: str, create: bool) -> Iterator[ResidentSession]:
+        """Pin a session's resident entry and yield it under its lock."""
         if not valid_session_name(name):
             raise ServingError(f"illegal session name {name!r}")
         with self._lock:
@@ -271,17 +290,186 @@ class SessionManager:
             entry.pins += 1
         try:
             with entry.lock:
+                if entry.poisoned:
+                    # A rollback failed while this request was queued on the
+                    # entry; the instance is untrusted and will be rebuilt
+                    # from disk once every queued request has drained.
+                    raise SessionQuarantinedError(
+                        f"session {name!r} is quarantined (rollback failed); "
+                        "it will be rebuilt from its last checkpoint — retry"
+                    )
                 entry.requests += 1
-                yield entry.vocal
+                yield entry
         finally:
             with self._lock:
                 entry.pins -= 1
                 entry.last_used = next(self._use_counter)
 
+    @contextmanager
+    def acquire(self, name: str, create: bool = True) -> Iterator[VOCALExplore]:
+        """Pin a session into memory and yield it, serialised per session.
+
+        Restores the session from its checkpoint when it was evicted (or
+        survives from a previous process), evicting the LRU idle session
+        first when at capacity.  Work inside the ``with`` block holds only
+        this session's lock, so distinct sessions run concurrently.
+        """
+        with self._pinned(name, create) as entry:
+            yield entry.vocal
+
+    #: Error types the supervisor re-raises untouched: expected request-level
+    #: failures that never indicate a corrupted session.
+    _PASSTHROUGH_ERRORS = (
+        AdmissionError,
+        SessionNotFoundError,
+        ProtocolError,
+        SessionQuarantinedError,
+    )
+
+    @staticmethod
+    def _state_probe(vocal: VOCALExplore) -> tuple:
+        """Cheap fingerprint of the mutable session state a request touches.
+
+        An exact :func:`~repro.serving.workload.session_fingerprint` is too
+        expensive per request; this probe catches every mutation the serving
+        ops can make (iteration counters, stored labels, finished summaries,
+        charged latency) so a failed request that changed *nothing* can be
+        passed through without a rollback.
+        """
+        session = vocal.session
+        return (
+            session.iteration,
+            session.iteration_open,
+            len(session.storage.labels),
+            len(session._summaries),
+            vocal.cumulative_visible_latency(),
+        )
+
+    @contextmanager
+    def supervised(self, name: str, create: bool = True) -> Iterator[VOCALExplore]:
+        """Like :meth:`acquire`, with a supervisor around the session work.
+
+        Classifies failures escaping the ``with`` block:
+
+        * *expected* errors (admission, unknown session, protocol) pass
+          through untouched — they never indicate session corruption;
+        * a :class:`~repro.exceptions.DeadlineExceededError` passes through
+          typed, after rolling the session back when the cancelled work had
+          already mutated state (a deadline parked at a boundary before any
+          mutation needs no rollback);
+        * a :class:`~repro.exceptions.ReproError` that left the state probe
+          unchanged passes through (a clean pre-mutation failure, e.g.
+          finishing an iteration that is not open);
+        * anything else quarantines the session: it is rolled back to its
+          last durable checkpoint (re-applying the journal tail, so no acked
+          label is lost) and the caller receives a
+          :class:`~repro.exceptions.SessionQuarantinedError` carrying the
+          recovery report, chained from the original failure.
+        """
+        with self._pinned(name, create) as entry:
+            probe = self._state_probe(entry.vocal)
+            try:
+                yield entry.vocal
+            except self._PASSTHROUGH_ERRORS:
+                raise
+            except DeadlineExceededError:
+                if self._state_probe(entry.vocal) != probe:
+                    self._rollback(entry, "deadline cancelled mid-mutation")
+                raise
+            except ReproError as exc:
+                if self._state_probe(entry.vocal) == probe:
+                    raise
+                report = self._rollback(entry, f"{type(exc).__name__}: {exc}")
+                raise SessionQuarantinedError(report) from exc
+            except Exception as exc:
+                report = self._rollback(entry, f"{type(exc).__name__}: {exc}")
+                raise SessionQuarantinedError(report) from exc
+
+    def _rollback(self, entry: ResidentSession, cause: str) -> str:
+        """Replace a suspect instance with one rebuilt from durable state.
+
+        Runs holding only ``entry.lock``.  The old instance is closed first
+        (best-effort — it releases the journal handle so the rebuilt one is
+        the only writer), then the factory rebuilds the session and
+        ``resume()`` restores the last snapshot plus the acked journal tail
+        (PR 5's bit-identical guarantee).  Returns a recovery report string;
+        when the rollback itself fails, the entry is *poisoned* — its state
+        is never checkpointed again and the instance is discarded and
+        rebuilt from disk on a later request.  Never touches the manager
+        lock (lock order is ``_lock`` before ``entry.lock``).
+        """
+        self._quarantines += 1
+        self.metrics.counter("serving.session_quarantines").add(1)
+        logger.warning("session %s quarantined: %s", entry.name, cause)
+        try:
+            entry.vocal.close()
+        except Exception:
+            logger.exception("session %s: closing the failed instance failed", entry.name)
+        try:
+            fresh = self.factory.build(entry.name)
+            report = self._restore(entry.name, fresh)
+        except Exception as rollback_exc:
+            entry.poisoned = True
+            self._rollback_failures += 1
+            self.metrics.counter("serving.session_rollback_failures").add(1)
+            logger.exception("session %s: rollback failed; entry poisoned", entry.name)
+            raise SessionQuarantinedError(
+                f"session {entry.name!r} quarantined after: {cause}; the "
+                f"rollback itself failed "
+                f"({type(rollback_exc).__name__}: {rollback_exc}) — the "
+                "instance is poisoned and will be rebuilt from its last "
+                "durable checkpoint on a later request; retry"
+            ) from rollback_exc
+        entry.vocal = fresh
+        self._rollbacks += 1
+        self.metrics.counter("serving.session_rollbacks").add(1)
+        session = fresh.session
+        return (
+            f"session {entry.name!r} quarantined after: {cause}; rolled back to "
+            f"its last durable state (iteration {session.iteration}, "
+            f"{len(session.storage.labels)} labels, "
+            f"{len(report.tail_labels)} journal-tail labels re-applied) — "
+            "no acknowledged label was lost; retry the request"
+        )
+
+    # -------------------------------------------------------------- idempotency
+    def idempotency_get(self, name: str, token: str) -> dict | None:
+        """Cached ack for a ``(session, token)`` pair, or None when unseen."""
+        with self._idem_lock:
+            cache = self._idempotency.get(name)
+            if cache is None:
+                return None
+            doc = cache.get(token)
+            if doc is None:
+                return None
+            cache.move_to_end(token)
+            return dict(doc)
+
+    def idempotency_put(self, name: str, token: str, ack: Mapping[str, Any]) -> None:
+        """Cache the ack for a ``(session, token)`` pair (per-session LRU).
+
+        Keyed at the manager so replay detection survives eviction and
+        restore; it does not survive a server restart (a retried label after
+        a crash is re-applied, which the durable journal already handles).
+        """
+        with self._idem_lock:
+            cache = self._idempotency.setdefault(name, OrderedDict())
+            cache[token] = dict(ack)
+            cache.move_to_end(token)
+            while len(cache) > self._idempotency_cache_size:
+                cache.popitem(last=False)
+
     def _ensure_resident_locked(self, name: str) -> ResidentSession:
         entry = self._resident.get(name)
         if entry is not None:
-            return entry
+            if entry.poisoned and entry.pins == 0:
+                # Every request queued on the poisoned instance has drained:
+                # discard it (never checkpointing its untrusted state) and
+                # rebuild from the durable state on disk.
+                self._discard_locked(entry)
+                entry = None
+            else:
+                return entry
         self._make_room_locked()
         existed = self.factory.exists(name)
         vocal = self.factory.build(name)
@@ -298,7 +486,7 @@ class SessionManager:
         self.metrics.gauge("serving.resident_sessions").set(len(self._resident))
         return entry
 
-    def _restore(self, name: str, vocal: VOCALExplore) -> None:
+    def _restore(self, name: str, vocal: VOCALExplore):
         """Resume a rebuilt session and fold in any durable journal tail.
 
         The clean eviction path checkpoints first, so its tail is empty and
@@ -307,7 +495,8 @@ class SessionManager:
         the single-user driver (which re-executes those iterations
         deterministically), a serving client will not resend them, so they
         are re-applied here and immediately re-checkpointed — rolling the
-        journal so a later recovery cannot double-apply them.
+        journal so a later recovery cannot double-apply them.  Returns the
+        :class:`~repro.core.api.RecoveryReport` for the caller's logs.
         """
         report = vocal.resume()
         if report.tail_labels:
@@ -322,17 +511,24 @@ class SessionManager:
                 name,
                 len(report.tail_labels),
             )
+        return report
 
     # ----------------------------------------------------------------- eviction
     def _evictable_locked(self) -> ResidentSession | None:
+        # Poisoned entries are dead weight (their state is untrusted and the
+        # recovery point is on disk), so an unpinned one is always the first
+        # eviction candidate regardless of its apparent iteration state.
         candidates = [
             entry
             for entry in self._resident.values()
-            if entry.pins == 0 and not entry.vocal.session.iteration_open
+            if entry.pins == 0
+            and (entry.poisoned or not entry.vocal.session.iteration_open)
         ]
         if not candidates:
             return None
-        return min(candidates, key=lambda entry: entry.last_used)
+        return min(
+            candidates, key=lambda entry: (not entry.poisoned, entry.last_used)
+        )
 
     def _make_room_locked(self) -> None:
         while len(self._resident) >= self.max_resident:
@@ -367,7 +563,24 @@ class SessionManager:
                 return
             self._evict_locked(victim)
 
+    def _discard_locked(self, entry: ResidentSession) -> None:
+        """Release a poisoned instance without checkpointing its state."""
+        try:
+            entry.vocal.close()
+        except Exception:
+            logger.exception("session %s: closing poisoned instance failed", entry.name)
+        del self._resident[entry.name]
+        gc.collect()
+        self.metrics.counter("serving.session_discards").add(1)
+        self.metrics.gauge("serving.resident_sessions").set(len(self._resident))
+        logger.warning("discarded poisoned session %s (durable state intact)", entry.name)
+
     def _evict_locked(self, entry: ResidentSession) -> None:
+        if entry.poisoned:
+            # Never checkpoint untrusted state over the durable recovery
+            # point — discarding is the eviction for a poisoned entry.
+            self._discard_locked(entry)
+            return
         entry.vocal.checkpoint()
         entry.vocal.close()
         del self._resident[entry.name]
@@ -414,6 +627,8 @@ class SessionManager:
         with self._lock:
             for entry in self._resident.values():
                 with entry.lock:
+                    if entry.poisoned:
+                        continue  # untrusted state must never be checkpointed
                     if entry.vocal.session.iteration_open:
                         entry.vocal.finish_iteration()
                     entry.vocal.checkpoint()
@@ -428,6 +643,15 @@ class SessionManager:
             self._closed = True
             for entry in list(self._resident.values()):
                 with entry.lock:
+                    if entry.poisoned:
+                        try:
+                            entry.vocal.close()
+                        except Exception:
+                            logger.exception(
+                                "session %s: closing poisoned instance failed",
+                                entry.name,
+                            )
+                        continue
                     if entry.vocal.session.iteration_open:
                         entry.vocal.finish_iteration()
                     entry.vocal.checkpoint()
@@ -480,4 +704,7 @@ class SessionManager:
                 "eviction_overshoots": self._overshoots,
                 "residency_sheds": self._residency_sheds,
                 "recovered_tail_labels": self._recovered_labels,
+                "quarantines": self._quarantines,
+                "rollbacks": self._rollbacks,
+                "rollback_failures": self._rollback_failures,
             }

@@ -14,6 +14,10 @@ Responses are ``{"id": ..., "ok": true, "result": {...}}`` on success and
 ``{"id": ..., "ok": false, "error": {"type": ..., "message": ...}}`` on
 failure.  The error ``type`` is the server-side exception class name, so
 clients can re-raise admission rejections distinctly from protocol bugs.
+``label`` requests may carry an optional ``token`` (an opaque string of at
+most :data:`MAX_TOKEN_CHARS` characters): the server caches the ack per
+``(session, token)`` and replays it for retried requests, so a label whose
+response was lost in transit is applied exactly once.
 
 Four operations are **request classes** for SLO accounting — ``explore``,
 ``label``, ``search``, ``predict`` (the paper's T_s / labeling / similarity
@@ -37,6 +41,7 @@ from ..exceptions import ProtocolError
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
+    "MAX_TOKEN_CHARS",
     "REQUEST_CLASSES",
     "OPS",
     "SESSION_OPS",
@@ -56,6 +61,10 @@ PROTOCOL_VERSION = 1
 #: Hard cap on one framed message; longer lines are a protocol violation
 #: (prevents a misbehaving peer from ballooning server memory).
 MAX_LINE_BYTES = 1 << 20
+
+#: Hard cap on one ``label`` idempotency token (they key a server-side
+#: replay cache, so their size must be bounded).
+MAX_TOKEN_CHARS = 128
 
 #: SLO-accounted request classes, in report order.
 REQUEST_CLASSES = ("explore", "label", "search", "predict")
@@ -144,6 +153,17 @@ def validate_request(doc: Mapping[str, Any]) -> tuple[str, str | None]:
     op = doc.get("op")
     if not isinstance(op, str) or op not in OPS:
         raise ProtocolError(f"unknown op {op!r}; known: {sorted(OPS)}")
+    token = doc.get("token")
+    if token is not None:
+        if op != "label":
+            raise ProtocolError(
+                f"idempotency tokens are only valid on 'label' requests, got op {op!r}"
+            )
+        if not isinstance(token, str) or not 1 <= len(token) <= MAX_TOKEN_CHARS:
+            raise ProtocolError(
+                f"field 'token' must be a string of 1..{MAX_TOKEN_CHARS} "
+                f"characters, got {token!r}"
+            )
     session = doc.get("session")
     if op in SESSION_OPS:
         if not valid_session_name(session):

@@ -1,0 +1,166 @@
+"""Resilience primitives for the serving layer: deadlines and retry policies.
+
+Two small, dependency-free building blocks shared by the server and the
+client:
+
+* :class:`Deadline` — a wall-clock budget token for one request.  The server
+  installs ``deadline.check`` as the scheduler's ``preemption_gate`` while a
+  request's session work runs, so a deadline-hit explore step parks
+  cooperatively at the next dispatch boundary (foreground entry or background
+  pop) instead of occupying a worker until it finishes.  ``check`` raises
+  :class:`~repro.exceptions.DeadlineExceededError`, which the session
+  supervisor converts into a clean rollback when the request had already
+  mutated state.
+* :class:`RetryPolicy` — jittered exponential backoff with a bounded attempt
+  count and an optional wall-clock retry budget.  The client uses it to retry
+  shed requests (:class:`~repro.exceptions.AdmissionError`), timeouts, and
+  torn connections; jitter is drawn from a seeded RNG so tests and benchmarks
+  replay the same backoff sequence.
+
+Neither class knows about sockets or sessions — they are pure policy, which
+is what lets the chaos tests drive them deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+from ..exceptions import DeadlineExceededError
+
+__all__ = ["Deadline", "RetryPolicy"]
+
+
+class Deadline:
+    """Wall-clock budget for one request, checked cooperatively.
+
+    Usage on the serving path::
+
+        deadline = Deadline(budget_s, request_class="explore")
+        scheduler.preemption_gate = deadline.check
+        try:
+            ...  # session work; parks at the next dispatch boundary when late
+        finally:
+            scheduler.preemption_gate = None
+    """
+
+    __slots__ = ("request_class", "budget_s", "expires_at", "_clock")
+
+    def __init__(
+        self,
+        budget_s: float,
+        request_class: str = "request",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Start the clock on a budget.
+
+        Args:
+            budget_s: Wall-clock seconds the request may take (> 0).
+            request_class: Request class named in the error message.
+            clock: Monotonic time source (injectable for tests).
+        """
+        if budget_s <= 0:
+            raise ValueError(f"deadline budget must be > 0, got {budget_s}")
+        self.request_class = request_class
+        self.budget_s = float(budget_s)
+        self._clock = clock
+        self.expires_at = clock() + float(budget_s)
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once past it)."""
+        return self.expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is exhausted."""
+        return self._clock() >= self.expires_at
+
+    def check(self) -> None:
+        """Raise when past the deadline; a no-op otherwise.
+
+        Raises:
+            DeadlineExceededError: once the budget is exhausted.  The message
+                names the class and budget so clients can size retries.
+        """
+        now = self._clock()
+        if now >= self.expires_at:
+            overshoot = now - (self.expires_at - self.budget_s)
+            raise DeadlineExceededError(
+                f"{self.request_class} request exceeded its "
+                f"{self.budget_s:.3f}s deadline ({overshoot:.3f}s elapsed); "
+                "work was cancelled at a safe boundary and is safe to retry"
+            )
+
+
+class RetryPolicy:
+    """Jittered exponential backoff with an attempt cap and a time budget.
+
+    ``delay(attempt)`` returns the sleep before retry number ``attempt``
+    (1-based): ``base * multiplier**(attempt-1)`` capped at ``max_delay_s``,
+    then scaled by a random factor in ``[1 - jitter, 1]`` so concurrent
+    retriers decorrelate.  ``should_retry(attempt, elapsed_s)`` combines the
+    attempt cap with the optional wall-clock ``budget_s``.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay_s: float = 0.05,
+        max_delay_s: float = 2.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        budget_s: float | None = None,
+        seed: int | None = None,
+    ) -> None:
+        """Configure the policy.
+
+        Args:
+            max_attempts: Total tries including the first (>= 1).
+            base_delay_s: Backoff before the first retry, in seconds.
+            max_delay_s: Cap on any single backoff delay.
+            multiplier: Geometric growth factor per retry (>= 1).
+            jitter: Fraction of each delay randomised away (0 disables).
+            budget_s: Optional wall-clock cap across all attempts; once
+                elapsed time exceeds it no further retries happen even if
+                attempts remain.
+            seed: Seeds the jitter RNG for reproducible backoff sequences.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay_s < 0 or max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if not 0 <= jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        if budget_s is not None and budget_s <= 0:
+            raise ValueError(f"budget_s must be > 0 when set, got {budget_s}")
+        self.max_attempts = int(max_attempts)
+        self.base_delay_s = float(base_delay_s)
+        self.max_delay_s = float(max_delay_s)
+        self.multiplier = float(multiplier)
+        self.jitter = float(jitter)
+        self.budget_s = budget_s
+        self._rng = random.Random(seed)
+
+    def should_retry(self, attempt: int, elapsed_s: float) -> bool:
+        """True when retry number ``attempt`` (1-based) may proceed."""
+        if attempt >= self.max_attempts:
+            return False
+        if self.budget_s is not None and elapsed_s >= self.budget_s:
+            return False
+        return True
+
+    def delay(self, attempt: int) -> float:
+        """Backoff in seconds before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = min(
+            self.base_delay_s * (self.multiplier ** (attempt - 1)),
+            self.max_delay_s,
+        )
+        if self.jitter:
+            raw *= 1.0 - self.jitter * self._rng.random()
+        return raw

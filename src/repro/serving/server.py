@@ -37,10 +37,17 @@ from typing import Any, Mapping
 import numpy as np
 
 from ..config import ServingConfig
-from ..exceptions import AdmissionError, ProtocolError, ServingError
+from ..exceptions import (
+    AdmissionError,
+    DeadlineExceededError,
+    ProtocolError,
+    ServingError,
+    SessionQuarantinedError,
+)
 from ..telemetry.slo import RequestClassAccountant
 from ..types import Label
 from .manager import SessionManager
+from .resilience import Deadline
 from .protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -130,11 +137,13 @@ class ExploreServer:
         self.config = config if config is not None else ServingConfig()
         self.accountant = RequestClassAccountant(self.config.budgets())
         self.metrics = manager.metrics
+        self._deadlines = self.config.deadlines()
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.worker_threads, thread_name_prefix="serving"
         )
         self._server: asyncio.base_events.Server | None = None
         self._stopping: asyncio.Event | None = None
+        self._draining = False
         self._inflight = 0
         self.host: str | None = None
         self.port: int | None = None
@@ -155,17 +164,29 @@ class ExploreServer:
 
     async def serve_until_stopped(self) -> None:
         """Block until a ``shutdown`` request (or :meth:`request_stop`) arrives,
-        then shut down gracefully: checkpoint every resident session and close
-        the manager, so a restarted server recovers all of them.
+        then *drain*: stop accepting connections, shed new requests with
+        :class:`~repro.exceptions.AdmissionError`, let in-flight requests
+        finish (bounded by ``ServingConfig.drain_timeout_s``), then
+        checkpoint every resident session and close the manager, so a
+        restarted server recovers all of them.
         """
         if self._stopping is None:
             raise ServingError("serve_until_stopped() requires start() first")
         await self._stopping.wait()
+        self._draining = True
         self._server.close()
         await self._server.wait_closed()
-        await asyncio.get_running_loop().run_in_executor(
-            self._executor, self.manager.close
-        )
+        loop = asyncio.get_running_loop()
+        drain_until = loop.time() + self.config.drain_timeout_s
+        while self._inflight > 0 and loop.time() < drain_until:
+            await asyncio.sleep(0.01)
+        if self._inflight:
+            logger.warning(
+                "drain timeout after %.1fs: %d requests still in flight",
+                self.config.drain_timeout_s,
+                self._inflight,
+            )
+        await loop.run_in_executor(self._executor, self.manager.close)
         self._executor.shutdown(wait=True)
         logger.info("server stopped; sessions checkpointed")
 
@@ -173,6 +194,11 @@ class ExploreServer:
         """Signal :meth:`serve_until_stopped` to begin graceful shutdown."""
         if self._stopping is not None:
             self._stopping.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        """True once a graceful shutdown has been signalled."""
+        return self._stopping is not None and self._stopping.is_set()
 
     # --------------------------------------------------------------- connection
     async def _handle_connection(
@@ -185,12 +211,23 @@ class ExploreServer:
                     line = await reader.readline()
                 except (ValueError, asyncio.LimitOverrunError):
                     # Oversized frame: the line boundary is lost, so the
-                    # connection cannot be resynchronised — drop it.
+                    # connection cannot be resynchronised — but the typed
+                    # error must reach the peer *before* the drop, so it can
+                    # distinguish "my frame was too big" from a network
+                    # failure.  Hence the explicit drain before breaking.
+                    self.metrics.counter("serving.protocol_errors").add(1)
                     writer.write(
                         encode_message(
-                            error_response(None, ProtocolError("frame too large"))
+                            error_response(
+                                None,
+                                ProtocolError(
+                                    f"frame exceeds {MAX_LINE_BYTES} bytes; "
+                                    "closing connection (framing lost)"
+                                ),
+                            )
                         )
                     )
+                    await writer.drain()
                     break
                 if not line.strip():
                     if not line:
@@ -224,6 +261,17 @@ class ExploreServer:
             self.metrics.counter("serving.protocol_errors").add(1)
             return error_response(request_id, exc), False
 
+        if self._draining:
+            self.metrics.counter("serving.requests_shed").add(1)
+            return (
+                error_response(
+                    request_id,
+                    AdmissionError(
+                        "server is draining for shutdown; no new requests accepted"
+                    ),
+                ),
+                False,
+            )
         if self._inflight >= self.config.max_queue_depth:
             self.metrics.counter("serving.requests_shed").add(1)
             return (
@@ -237,20 +285,36 @@ class ExploreServer:
                 False,
             )
 
+        slo_class = request_class(op)
+        budget = self._deadlines.get(slo_class) if slo_class is not None else None
+        deadline = (
+            Deadline(budget, request_class=slo_class) if budget is not None else None
+        )
         started = time.perf_counter()
         self._inflight += 1
+        outcome = "ok"
         try:
-            result = await loop.run_in_executor(self._executor, self._execute, op, doc)
+            result = await loop.run_in_executor(
+                self._executor, self._execute, op, doc, deadline
+            )
             response = ok_response(request_id, result)
         except Exception as exc:  # error responses, not connection teardown
             self.metrics.counter("serving.request_errors").add(1)
+            if isinstance(exc, DeadlineExceededError):
+                outcome = "deadline"
+                self.metrics.counter("serving.deadline_exceeded").add(1)
+            elif isinstance(exc, SessionQuarantinedError):
+                outcome = "quarantine"
+            else:
+                outcome = "error"
             response = error_response(request_id, exc)
         finally:
             self._inflight -= 1
 
-        slo_class = request_class(op)
         if slo_class is not None:
-            verdict = self.accountant.observe(slo_class, time.perf_counter() - started)
+            verdict = self.accountant.observe(
+                slo_class, time.perf_counter() - started, outcome=outcome
+            )
             self.metrics.histogram(f"serving.latency_s.{slo_class}").observe(
                 verdict.latency_s
             )
@@ -260,8 +324,17 @@ class ExploreServer:
         return response, op == "shutdown" and response.get("ok", False)
 
     # ----------------------------------------------------------------- dispatch
-    def _execute(self, op: str, doc: Mapping[str, Any]) -> dict:
-        """Execute one validated request on a worker thread."""
+    def _execute(
+        self, op: str, doc: Mapping[str, Any], deadline: Deadline | None = None
+    ) -> dict:
+        """Execute one validated request on a worker thread.
+
+        Session-scoped data-plane work runs under the manager's supervisor
+        (quarantine + rollback on unexpected failures) with the request's
+        deadline installed as the session scheduler's preemption gate, so a
+        late request parks cooperatively at the next dispatch boundary
+        instead of occupying the worker to completion.
+        """
         if op == "ping":
             return {"pong": True, "version": PROTOCOL_VERSION}
         if op == "stats":
@@ -273,29 +346,39 @@ class ExploreServer:
         if op == "open":
             return self.manager.open(name)
         if op == "close":
-            with self.manager.acquire(name, create=False) as vocal:
+            with self.manager.supervised(name, create=False) as vocal:
                 if vocal.session.iteration_open:
                     vocal.finish_iteration()
             self.manager.evict(name)
             return {"closed": name}
 
-        with self.manager.acquire(name, create=False) as vocal:
-            if op == "explore":
-                return self._execute_explore(vocal, doc)
-            if op == "label":
-                return self._execute_label(vocal, doc)
-            if op == "finish":
-                summary = vocal.finish_iteration()
-                return self._summary_doc(summary)
-            if op == "search":
-                return self._execute_search(vocal, doc)
-            if op == "predict":
-                segments = vocal.watch(
-                    int(_require_number(doc, "vid")),
-                    _require_number(doc, "start"),
-                    _require_number(doc, "end"),
-                )
-                return {"segments": [_segment_doc(segment) for segment in segments]}
+        if deadline is not None:
+            # Fast-fail before pinning the session: a request that queued
+            # past its whole budget never occupies the session lock.
+            deadline.check()
+        with self.manager.supervised(name, create=False) as vocal:
+            scheduler = vocal.session.scheduler
+            if deadline is not None:
+                scheduler.preemption_gate = deadline.check
+            try:
+                if op == "explore":
+                    return self._execute_explore(vocal, doc)
+                if op == "label":
+                    return self._execute_label(vocal, doc, name)
+                if op == "finish":
+                    summary = vocal.finish_iteration()
+                    return self._summary_doc(summary)
+                if op == "search":
+                    return self._execute_search(vocal, doc)
+                if op == "predict":
+                    segments = vocal.watch(
+                        int(_require_number(doc, "vid")),
+                        _require_number(doc, "start"),
+                        _require_number(doc, "end"),
+                    )
+                    return {"segments": [_segment_doc(segment) for segment in segments]}
+            finally:
+                scheduler.preemption_gate = None
         raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover - validate_request gates
 
     @staticmethod
@@ -325,7 +408,17 @@ class ExploreServer:
             "segments": [_segment_doc(segment) for segment in result.segments],
         }
 
-    def _execute_label(self, vocal, doc: Mapping[str, Any]) -> dict:
+    def _execute_label(self, vocal, doc: Mapping[str, Any], name: str) -> dict:
+        token = doc.get("token")
+        if token is not None:
+            cached = self.manager.idempotency_get(name, token)
+            if cached is not None:
+                # A retried ack: the labels were applied (and journaled) by
+                # the original attempt whose response was lost — replay the
+                # cached ack instead of double-applying.  Runs under the
+                # session lock, so duplicate tokens are serialised.
+                self.metrics.counter("serving.label_replays").add(1)
+                return {**cached, "replayed": True}
         labels = _parse_labels(doc)
         vocal.session.add_labels(labels)
         finished = False
@@ -335,7 +428,10 @@ class ExploreServer:
         # With per-session checkpoint directories always configured, the
         # labels are journaled + fsynced when add_labels returns: this ack
         # means durable.
-        return {"stored": len(labels), "durable": True, "finished": finished}
+        ack = {"stored": len(labels), "durable": True, "finished": finished}
+        if token is not None:
+            self.manager.idempotency_put(name, token, ack)
+        return ack
 
     def _execute_search(self, vocal, doc: Mapping[str, Any]) -> dict:
         if "vector" in doc:
@@ -413,19 +509,56 @@ class ServerThread:
 
         asyncio.run(main())
 
+    def _hung_error(self, timeout: float) -> ServingError:
+        """Build the loud-shutdown error (logs the resident-session count).
+
+        Reads the resident dict without the manager lock on purpose: the
+        hung loop thread may be holding it, and this path must never block.
+        """
+        resident = len(self.server.manager._resident)
+        logger.error(
+            "server thread failed to stop within %.1fs (%d resident sessions)",
+            timeout,
+            resident,
+        )
+        return ServingError(
+            f"server thread failed to stop within {timeout}s "
+            f"({resident} resident sessions may not be checkpointed)"
+        )
+
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the server stops on its own (a ``shutdown`` request);
-        returns True when it has stopped, False on timeout."""
+        returns True when it has stopped, False on timeout.
+
+        Raises:
+            ServingError: when a stop *was* requested (a ``shutdown`` request
+                or :meth:`stop`) and the thread still failed to die within
+                ``timeout`` — a hung shutdown must be loud, not a silent
+                False that callers ignore.
+        """
         if self._thread is None:
             return True
         self._thread.join(timeout)
-        return not self._thread.is_alive()
+        if self._thread.is_alive():
+            if self.server.stop_requested:
+                raise self._hung_error(timeout if timeout is not None else 0.0)
+            return False
+        return True
 
     def stop(self, timeout: float = 30.0) -> None:
-        """Gracefully stop the server and join the loop thread (idempotent)."""
+        """Gracefully stop the server and join the loop thread (idempotent).
+
+        Raises:
+            ServingError: when the loop thread fails to join within
+                ``timeout``; resident sessions may not have been
+                checkpointed, so the failure is never silent.
+        """
         if self._thread is None:
             return
-        if self._loop is not None and self._thread.is_alive():
+        thread = self._thread
+        if self._loop is not None and thread.is_alive():
             self._loop.call_soon_threadsafe(self.server.request_stop)
-        self._thread.join(timeout)
+        thread.join(timeout)
+        if thread.is_alive():
+            raise self._hung_error(timeout)
         self._thread = None

@@ -2,11 +2,15 @@
 
 A :class:`ScriptedUser` replays a deterministic exploration script — explore,
 label the returned clips, interleave similarity searches and predictions,
-finish the iteration — against any *session adapter*.  Two adapters ship
-here: :class:`LocalSessionAdapter` drives a
+finish the iteration — against any *session adapter*.  Two base adapters
+ship here: :class:`LocalSessionAdapter` drives a
 :class:`~repro.serving.manager.SessionManager` in-process, and
 :class:`RemoteSessionAdapter` drives a live server through a
-:class:`~repro.serving.client.ServingClient`.  Because every decision the
+:class:`~repro.serving.client.ServingClient`; two *wrapper* adapters —
+:class:`FlakyAdapter` (deterministic injected sheds) and
+:class:`RetryingAdapter` (a :class:`~repro.serving.resilience.RetryPolicy`
+around any adapter) — compose with them to script
+retry-then-succeed sequences.  Because every decision the
 user makes (batch sizes, label choices, search targets) is derived from its
 seed and step index alone, the same script produces the same session state
 through either path — which is what the serving tests and the benchmark's
@@ -25,17 +29,22 @@ from __future__ import annotations
 import hashlib
 import json
 import random
+import time
 import zlib
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.checkpoint import capture_state, _table_to_arrays
+from ..exceptions import AdmissionError
 from ..types import Label
+from .resilience import RetryPolicy
 
 __all__ = [
+    "FlakyAdapter",
     "LocalSessionAdapter",
     "RemoteSessionAdapter",
+    "RetryingAdapter",
     "ScriptedUser",
     "session_fingerprint",
 ]
@@ -112,6 +121,110 @@ class RemoteSessionAdapter:
         """Prediction over the wire."""
         result = self.client.predict(self.name, vid=vid, start=start, end=end)
         return len(result["segments"])
+
+
+class FlakyAdapter:
+    """Wraps a session adapter, shedding calls on a deterministic schedule.
+
+    Raises :class:`~repro.exceptions.AdmissionError` *before* delegating on
+    every call whose 1-based count is not a multiple of ``period`` — so with
+    the default ``period=2`` every operation fails once and succeeds when
+    retried, the canonical retry-then-succeed sequence.  Failing before the
+    delegate means a shed call never touched the session, exactly like a
+    server-side admission shed.
+    """
+
+    def __init__(self, inner, period: int = 2) -> None:
+        """Wrap ``inner``; every ``period``-th call goes through."""
+        if period < 2:
+            raise ValueError(f"period must be >= 2, got {period}")
+        self.inner = inner
+        self.period = int(period)
+        #: Calls attempted (including shed ones).
+        self.calls = 0
+        #: Calls shed with an injected ``AdmissionError``.
+        self.failures = 0
+
+    def _admit(self, op: str) -> None:
+        self.calls += 1
+        if self.calls % self.period != 0:
+            self.failures += 1
+            raise AdmissionError(
+                f"injected shed on {op!r} (call {self.calls}); retry later"
+            )
+
+    def explore(self, batch_size: int) -> list[tuple[int, float, float]]:
+        """Explore, shed on the injection schedule."""
+        self._admit("explore")
+        return self.inner.explore(batch_size)
+
+    def label(self, labels: Sequence[tuple[int, float, float, str]], finish: bool) -> int:
+        """Label, shed on the injection schedule."""
+        self._admit("label")
+        return self.inner.label(labels, finish)
+
+    def search(self, clip: tuple[int, float, float], k: int) -> list[tuple]:
+        """Search, shed on the injection schedule."""
+        self._admit("search")
+        return self.inner.search(clip, k)
+
+    def predict(self, vid: int, start: float, end: float) -> int:
+        """Predict, shed on the injection schedule."""
+        self._admit("predict")
+        return self.inner.predict(vid, start, end)
+
+
+class RetryingAdapter:
+    """Retries shed operations around any session adapter.
+
+    Applies a :class:`~repro.serving.resilience.RetryPolicy` to
+    :class:`~repro.exceptions.AdmissionError` from the wrapped adapter —
+    the workload-layer analogue of the client's retry loop, usable both
+    in-process (:class:`LocalSessionAdapter`) and over the wire.  ``sleep``
+    is injectable so tests retry without wall-clock delays.
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Wrap ``inner`` with a retry policy (a default one when omitted)."""
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy(seed=0)
+        self._sleep = sleep
+        #: Retries performed across all operations.
+        self.retries = 0
+
+    def _with_retries(self, fn, *args):
+        attempt = 1
+        started = time.monotonic()
+        while True:
+            try:
+                return fn(*args)
+            except AdmissionError:
+                if not self.policy.should_retry(attempt, time.monotonic() - started):
+                    raise
+                self.retries += 1
+                self._sleep(self.policy.delay(attempt))
+                attempt += 1
+
+    def explore(self, batch_size: int) -> list[tuple[int, float, float]]:
+        """Explore with retries."""
+        return self._with_retries(self.inner.explore, batch_size)
+
+    def label(self, labels: Sequence[tuple[int, float, float, str]], finish: bool) -> int:
+        """Label with retries."""
+        return self._with_retries(self.inner.label, labels, finish)
+
+    def search(self, clip: tuple[int, float, float], k: int) -> list[tuple]:
+        """Search with retries."""
+        return self._with_retries(self.inner.search, clip, k)
+
+    def predict(self, vid: int, start: float, end: float) -> int:
+        """Predict with retries."""
+        return self._with_retries(self.inner.predict, vid, start, end)
 
 
 # ------------------------------------------------------------- scripted user

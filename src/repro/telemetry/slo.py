@@ -136,6 +136,8 @@ class RequestSLO:
     violated: bool
     #: Seconds over budget (0.0 when within budget or unbudgeted).
     overshoot_s: float
+    #: How the request ended: "ok", "deadline", "quarantine", or "error".
+    outcome: str = "ok"
 
     def to_record(self) -> dict:
         """JSON-serialisable form written to trace sinks and stats replies."""
@@ -146,6 +148,7 @@ class RequestSLO:
             "budget_s": self.budget_s,
             "violated": self.violated,
             "overshoot_s": self.overshoot_s,
+            "outcome": self.outcome,
         }
 
 
@@ -194,10 +197,19 @@ class RequestClassAccountant:
         self.budgets_s = budgets
         self._samples: dict[str, list[float]] = {}
         self._violations: dict[str, int] = {}
+        self._outcomes: dict[str, dict[str, int]] = {}
         self._lock = threading.Lock()
 
-    def observe(self, request_class: str, latency_s: float) -> RequestSLO:
-        """Fold one served request into the accounting; returns its verdict."""
+    def observe(
+        self, request_class: str, latency_s: float, outcome: str = "ok"
+    ) -> RequestSLO:
+        """Fold one served request into the accounting; returns its verdict.
+
+        ``outcome`` tags how the request ended ("ok", "deadline",
+        "quarantine", "error", ...); per-class outcome counts are rolled
+        up so degraded-mode runs can report failure composition alongside
+        latency quantiles.
+        """
         latency_s = float(latency_s)
         budget = self.budgets_s.get(request_class)
         violated = budget is not None and latency_s > budget
@@ -207,6 +219,7 @@ class RequestClassAccountant:
             budget_s=budget,
             violated=violated,
             overshoot_s=(latency_s - budget) if violated else 0.0,
+            outcome=outcome,
         )
         with self._lock:
             self._samples.setdefault(request_class, []).append(latency_s)
@@ -214,6 +227,8 @@ class RequestClassAccountant:
                 self._violations[request_class] = (
                     self._violations.get(request_class, 0) + 1
                 )
+            counts = self._outcomes.setdefault(request_class, {})
+            counts[outcome] = counts.get(outcome, 0) + 1
         return verdict
 
     # ------------------------------------------------------------------ queries
@@ -234,12 +249,14 @@ class RequestClassAccountant:
         with self._lock:
             samples = sorted(self._samples.get(request_class, ()))
             violations = self._violations.get(request_class, 0)
+            outcomes = dict(self._outcomes.get(request_class, ()))
         budget = self.budgets_s.get(request_class)
         return {
             "request_class": request_class,
             "count": len(samples),
             "budget_s": budget,
             "violations": violations,
+            "outcomes": outcomes,
             "p50_s": _quantile(samples, 0.50),
             "p99_s": _quantile(samples, 0.99),
             "p999_s": _quantile(samples, 0.999),

@@ -1,0 +1,288 @@
+"""Network fault-injection harness for the serving layer.
+
+:class:`ChaosProxy` is a line-aware TCP proxy that sits between a
+:class:`~repro.serving.client.ServingClient` and a live
+:class:`~repro.serving.server.ExploreServer` and injects faults at named
+*fault points* — the places a real network can betray a request/response
+exchange:
+
+========================  =====================================================
+fault point               what the client/server observe
+========================  =====================================================
+``connect_reset``         the Nth accepted connection is torn down immediately
+``request_reset``         the request is swallowed; both sides lose the
+                          connection (the server never saw the request)
+``request_partial``       the server receives a truncated frame, then EOF
+``request_stall``         the request is delayed past the client's socket
+                          timeout, then still delivered (the classic
+                          "timed out but the work happened" hazard)
+``request_duplicate``     the server receives the same frame twice (one
+                          surplus response is swallowed to keep framing)
+``response_reset``        the work happened; the ack is lost with the
+                          connection
+``response_partial``      the client receives a truncated, undecodable reply
+``response_stall``        the ack is delayed past the client's socket timeout
+========================  =====================================================
+
+Faults are scheduled deterministically by *ordinal*: ``schedule(fault, at=n)``
+fires on the ``n``-th proxied request (1-based, counted across all
+connections), or on the ``n``-th accepted connection for ``connect_reset``.
+Everything the proxy actually injected is recorded in :attr:`ChaosProxy.fired`
+so tests can assert the fault really happened.
+
+The harness is intentionally protocol-aware but policy-free: it never looks
+inside the JSON, so the exactly-once and no-lost-ack guarantees it probes are
+enforced entirely by the serving layer (idempotency tokens, the durable
+journal, the session supervisor), not by the test plumbing.
+
+:func:`dump_artifact` appends machine-readable scenario results to the file
+named by the ``CHAOS_ARTIFACT`` environment variable (a no-op when unset);
+CI uploads it from the exhaustive ``-m slow`` matrix run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+
+__all__ = ["FAULT_POINTS", "ChaosProxy", "dump_artifact"]
+
+#: Every fault point the proxy can inject, in documentation order.
+FAULT_POINTS = (
+    "connect_reset",
+    "request_reset",
+    "request_partial",
+    "request_stall",
+    "request_duplicate",
+    "response_reset",
+    "response_partial",
+    "response_stall",
+)
+
+#: Fault points scheduled by connection ordinal instead of request ordinal.
+_CONNECTION_FAULTS = frozenset({"connect_reset"})
+
+
+class ChaosProxy:
+    """A line-aware TCP proxy injecting scheduled faults between peers.
+
+    One handler thread per client connection pumps whole newline-delimited
+    frames in lockstep (request upstream, response back), which is exactly
+    the serving protocol's exchange pattern — so a fault always lands on a
+    well-defined frame boundary and the ``fired`` log names the request it
+    hit.
+
+    Usage::
+
+        proxy = ChaosProxy(server_host, server_port)
+        host, port = proxy.start()
+        proxy.schedule("response_reset", at=3)   # 3rd request loses its ack
+        ...  # drive a ServingClient at (host, port)
+        proxy.stop()
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        stall_s: float = 1.5,
+    ) -> None:
+        """Create a proxy in front of ``(upstream_host, upstream_port)``.
+
+        Args:
+            upstream_host: Real server host.
+            upstream_port: Real server port.
+            stall_s: Delay injected by the ``*_stall`` faults; pick it
+                larger than the client's socket timeout so a stall is
+                observed as a timeout, not a slow success.
+        """
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.stall_s = float(stall_s)
+        self.host: str | None = None
+        self.port: int | None = None
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self._live_sockets: set[socket.socket] = set()
+        self._handlers: list[threading.Thread] = []
+        self._request_plan: dict[int, str] = {}
+        self._connection_plan: dict[int, str] = {}
+        #: Requests proxied so far (across all connections).
+        self.requests = 0
+        #: Connections accepted so far.
+        self.connections = 0
+        #: ``(fault, ordinal)`` pairs actually injected, in firing order.
+        self.fired: list[tuple[str, int]] = []
+
+    # ----------------------------------------------------------------- control
+    def start(self) -> tuple[str, int]:
+        """Bind, start accepting, and return the proxy's ``(host, port)``."""
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(32)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.host, self.port
+
+    def stop(self) -> None:
+        """Close the listener and every live pipe (idempotent)."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._lock:
+            sockets = list(self._live_sockets)
+        for sock in sockets:
+            self._close(sock)
+        if self._accept_thread is not None:
+            self._accept_thread.join(5)
+            self._accept_thread = None
+        for handler in self._handlers:
+            handler.join(5)
+        self._handlers.clear()
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def schedule(self, fault: str, at: int = 1) -> None:
+        """Arm ``fault`` to fire on ordinal ``at`` (1-based).
+
+        Request-scoped faults count proxied requests across all connections;
+        ``connect_reset`` counts accepted connections.
+        """
+        if fault not in FAULT_POINTS:
+            raise ValueError(f"unknown fault point {fault!r}; pick from {FAULT_POINTS}")
+        if at < 1:
+            raise ValueError(f"ordinal must be >= 1, got {at}")
+        with self._lock:
+            if fault in _CONNECTION_FAULTS:
+                self._connection_plan[at] = fault
+            else:
+                self._request_plan[at] = fault
+
+    # ---------------------------------------------------------------- plumbing
+    def _close(self, sock: socket.socket | None) -> None:
+        """Best-effort close; drops the socket from the live set."""
+        if sock is None:
+            return
+        with self._lock:
+            self._live_sockets.discard(sock)
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _track(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._live_sockets.add(sock)
+
+    def _take_connection_fault(self) -> str | None:
+        with self._lock:
+            self.connections += 1
+            fault = self._connection_plan.pop(self.connections, None)
+            if fault is not None:
+                self.fired.append((fault, self.connections))
+            return fault
+
+    def _take_request_fault(self) -> tuple[str | None, int]:
+        with self._lock:
+            self.requests += 1
+            fault = self._request_plan.pop(self.requests, None)
+            if fault is not None:
+                self.fired.append((fault, self.requests))
+            return fault, self.requests
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                client_sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            self._track(client_sock)
+            if self._take_connection_fault() == "connect_reset":
+                self._close(client_sock)
+                continue
+            handler = threading.Thread(
+                target=self._pump, args=(client_sock,), name="chaos-pump", daemon=True
+            )
+            handler.start()
+            self._handlers.append(handler)
+
+    def _pump(self, client_sock: socket.socket) -> None:
+        """Frame-by-frame exchange loop for one client connection."""
+        upstream: socket.socket | None = None
+        try:
+            upstream = socket.create_connection(
+                (self.upstream_host, self.upstream_port), timeout=30
+            )
+            self._track(upstream)
+            client_reader = client_sock.makefile("rb")
+            upstream_reader = upstream.makefile("rb")
+            while not self._stopping.is_set():
+                request = client_reader.readline()
+                if not request:
+                    return  # client went away cleanly
+                fault, _ordinal = self._take_request_fault()
+                if fault == "request_reset":
+                    return  # swallow the frame; both sides lose the pipe
+                if fault == "request_partial":
+                    # Truncate mid-frame, then EOF upstream: the server must
+                    # answer with a typed ProtocolError, not crash or hang.
+                    upstream.sendall(request[: max(1, len(request) // 2)])
+                    return
+                if fault == "request_stall":
+                    # Delivered late: the client has already timed out, but
+                    # the server-side work still happens — the hazard the
+                    # idempotency tokens exist for.
+                    self._stopping.wait(self.stall_s)
+                upstream.sendall(request)
+                if fault == "request_duplicate":
+                    upstream.sendall(request)
+                response = upstream_reader.readline()
+                if fault == "request_duplicate":
+                    # Swallow the surplus response so request/response
+                    # framing stays aligned for the client.
+                    upstream_reader.readline()
+                if not response:
+                    return  # server went away (e.g. shutdown)
+                if fault == "response_reset":
+                    return  # the work happened; the ack is lost
+                if fault == "response_partial":
+                    client_sock.sendall(response[: max(1, len(response) // 2)])
+                    return
+                if fault == "response_stall":
+                    self._stopping.wait(self.stall_s)
+                client_sock.sendall(response)
+        except OSError:
+            pass  # either side tore the pipe down mid-exchange
+        finally:
+            self._close(client_sock)
+            self._close(upstream)
+
+
+# ----------------------------------------------------------------- artifacts
+def dump_artifact(record: dict) -> None:
+    """Append one scenario record to the ``CHAOS_ARTIFACT`` file (JSONL).
+
+    A no-op when the environment variable is unset, so local test runs stay
+    side-effect free; the CI chaos matrix sets it and uploads the file.
+    """
+    path = os.environ.get("CHAOS_ARTIFACT")
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")

@@ -1,0 +1,256 @@
+"""Network chaos matrix: no acked label lost, exactly-once retried labels.
+
+Each scenario runs a seeded :class:`ScriptedUser` against a live server
+*through* a :class:`chaos.ChaosProxy` that injects one scheduled network
+fault, with a retry-enabled :class:`ServingClient` doing the recovering.
+The invariants checked after every scenario, whatever the fault:
+
+* the script completes (retries + reconnects absorb the fault);
+* the durable label store holds **exactly** the multiset of labels the
+  client was acked — nothing acknowledged is lost, nothing retried is
+  double-applied (the idempotency-token guarantee);
+* recovery is deterministic: restoring the session from its durable state
+  twice yields bit-identical fingerprints.
+
+The default run covers a bounded smoke matrix (CI's chaos-smoke step); the
+``-m slow`` matrix crosses **every** fault point with server-side
+quarantine and worker-kill injections and writes a JSONL artifact when
+``CHAOS_ARTIFACT`` is set.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+from chaos import FAULT_POINTS, ChaosProxy, dump_artifact
+
+from repro.config import ServingConfig
+from repro.exceptions import AdmissionError, SessionQuarantinedError
+from repro.serving import (
+    RemoteSessionAdapter,
+    RetryPolicy,
+    ScriptedUser,
+    ServerThread,
+    ServingClient,
+    SessionManager,
+    session_fingerprint,
+)
+from repro.serving.server import ExploreServer
+
+
+class ServerFaultInjector:
+    """One-shot server-side failure armed from the test, fired in a worker.
+
+    ``quarantine`` raises before touching the session (a clean unexpected
+    crash); ``worker_kill`` mutates the session first and then dies — the
+    worst case the supervisor must roll back.  Installed by monkeypatching
+    the explore executor, so the failure happens *inside* the supervised
+    region exactly like a real worker fault.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.armed = False
+        self.fired = 0
+
+    def install(self, monkeypatch) -> "ServerFaultInjector":
+        """Patch :meth:`ExploreServer._execute_explore` to fire when armed."""
+        original = ExploreServer._execute_explore
+        injector = self
+
+        def wrapped(server, vocal, doc):
+            if injector.armed:
+                injector.armed = False
+                injector.fired += 1
+                if injector.kind == "worker_kill":
+                    vocal.explore(1)  # dirty the session, then die mid-request
+                raise RuntimeError(f"injected {injector.kind} failure")
+            return original(server, vocal, doc)
+
+        monkeypatch.setattr(ExploreServer, "_execute_explore", wrapped)
+        return self
+
+
+def _first_step(user: ScriptedUser, op: str, skip: int = 0) -> int:
+    """Index of the ``skip``-th script step with the given op."""
+    indices = [i for i, step in enumerate(user.steps) if step["op"] == op]
+    return indices[skip]
+
+
+def run_chaos_scenario(
+    factory,
+    user: ScriptedUser,
+    fault: str | None = None,
+    at: int = 1,
+    injector: ServerFaultInjector | None = None,
+    arm_at: int | None = None,
+):
+    """Run one scripted user through a faulty proxy; returns the proxy.
+
+    ``at`` is the proxy ordinal the fault fires on (request ordinal, or
+    connection ordinal for ``connect_reset``); ``arm_at`` is the script step
+    index before which the server-side injector is armed.  Script steps that
+    fail with :class:`SessionQuarantinedError` are retried — the error's own
+    recovery report promises that is safe.
+    """
+    manager = SessionManager(factory, max_resident=2)
+    thread = ServerThread(manager, ServingConfig(worker_threads=2))
+    host, port = thread.start()
+    proxy = ChaosProxy(host, port, stall_s=1.2)
+    try:
+        proxy_host, proxy_port = proxy.start()
+        if fault is not None:
+            proxy.schedule(fault, at=at)
+        policy = RetryPolicy(
+            max_attempts=6, base_delay_s=0.02, max_delay_s=0.1, jitter=0.5, seed=9
+        )
+        with ServingClient(proxy_host, proxy_port, timeout=0.5, retry=policy) as client:
+            client.open(user.name)
+            adapter = RemoteSessionAdapter(client, user.name)
+            index = 0
+            pending_arm = arm_at
+            while index < len(user):
+                if injector is not None and index == pending_arm:
+                    injector.armed = True
+                    pending_arm = None  # arm once; the retried step runs clean
+                try:
+                    user.run_step(adapter, index)
+                except SessionQuarantinedError:
+                    continue  # rolled back to durable state; retry the step
+                index += 1
+            retries, reconnects = client.retries, client.reconnects
+    finally:
+        proxy.stop()
+        thread.stop()  # graceful: checkpoints every session
+    return proxy, retries, reconnects
+
+
+def durable_state(factory, name: str) -> tuple[Counter, str]:
+    """Restore the session from disk; returns (label multiset, fingerprint)."""
+    with SessionManager(factory, max_resident=2) as manager:
+        with manager.acquire(name, create=False) as vocal:
+            labels = Counter(
+                (entry.vid, entry.start, entry.end, entry.label)
+                for entry in vocal.session.storage.labels.all()
+            )
+            return labels, session_fingerprint(vocal)
+
+
+def assert_invariants(factory, user: ScriptedUser) -> str:
+    """No acked label lost, none double-applied, recovery deterministic."""
+    stored, fingerprint = durable_state(factory, user.name)
+    acked = Counter(user.acked_labels)
+    missing = acked - stored
+    extra = stored - acked
+    assert not missing, f"acked labels lost under chaos: {dict(missing)}"
+    assert not extra, f"labels double-applied under chaos: {dict(extra)}"
+    stored_again, fingerprint_again = durable_state(factory, user.name)
+    assert stored_again == stored
+    assert fingerprint_again == fingerprint, "recovery is not deterministic"
+    return fingerprint
+
+
+#: Bounded default matrix (CI chaos-smoke): a reconnect fault, a lost-ack
+#: fault on a label (the flagship exactly-once case), and a duplicated frame.
+SMOKE_FAULTS = ("connect_reset", "response_reset", "request_duplicate")
+
+
+@pytest.mark.parametrize("fault", SMOKE_FAULTS)
+def test_chaos_smoke(factory, dataset, fault):
+    user = ScriptedUser("alice", 5, dataset.class_names, cycles=2)
+    # Land request-scoped faults on the first label request: request ordinal
+    # = 1 (the open) + step index + 1.  connect_reset tears the client's
+    # initial connection instead.
+    at = 1 if fault == "connect_reset" else _first_step(user, "label") + 2
+    proxy, retries, reconnects = run_chaos_scenario(factory, user, fault=fault, at=at)
+    assert proxy.fired, "the scheduled fault never fired"
+    if fault != "request_duplicate":  # a duplicate is invisible to the client
+        assert retries >= 1
+        assert reconnects >= 1
+    assert_invariants(factory, user)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("injection", [None, "quarantine", "worker_kill"])
+@pytest.mark.parametrize("fault", FAULT_POINTS)
+def test_chaos_matrix(factory, dataset, fault, injection, monkeypatch):
+    """Exhaustive matrix: every fault point x server-side failure injection."""
+    user = ScriptedUser("alice", 7, dataset.class_names, cycles=2)
+    at = 1 if fault == "connect_reset" else _first_step(user, "label") + 2
+    injector = None
+    arm_at = None
+    if injection is not None:
+        injector = ServerFaultInjector(injection).install(monkeypatch)
+        # Arm on the second explore, after cycle 1's labels were acked — the
+        # rollback must preserve them.
+        arm_at = _first_step(user, "explore", skip=1)
+    proxy, retries, reconnects = run_chaos_scenario(
+        factory, user, fault=fault, at=at, injector=injector, arm_at=arm_at
+    )
+    assert proxy.fired, "the scheduled fault never fired"
+    if injector is not None:
+        assert injector.fired == 1, "the server-side injection never fired"
+    fingerprint = assert_invariants(factory, user)
+    dump_artifact(
+        {
+            "scenario": "chaos_matrix",
+            "fault": fault,
+            "injection": injection,
+            "faults_fired": proxy.fired,
+            "client_retries": retries,
+            "client_reconnects": reconnects,
+            "acked_labels": len(user.acked_labels),
+            "fingerprint": fingerprint,
+        }
+    )
+
+
+class TestGracefulDrain:
+    def test_drain_completes_inflight_and_sheds_new_requests(self, factory, monkeypatch):
+        manager = SessionManager(factory, max_resident=2)
+        thread = ServerThread(
+            manager, ServingConfig(worker_threads=2, drain_timeout_s=10.0)
+        )
+        release = threading.Event()
+        original = thread.server._execute
+
+        def gated(op, doc, deadline=None):
+            if doc.get("slow"):
+                release.wait(30)
+            return original(op, doc, deadline)
+
+        monkeypatch.setattr(thread.server, "_execute", gated)
+        host, port = thread.start()
+        slow = ServingClient(host, port)
+        probe = ServingClient(host, port)
+        control = ServingClient(host, port)
+        result: dict = {}
+        worker = threading.Thread(
+            target=lambda: result.update(slow=slow._call("ping", slow=True))
+        )
+        try:
+            worker.start()
+            deadline = time.time() + 10
+            while thread.server._inflight < 1 and time.time() < deadline:
+                time.sleep(0.01)
+            assert control.shutdown() == {"stopping": True}
+            while not thread.server._draining and time.time() < deadline:
+                time.sleep(0.01)
+            # Mid-drain: new requests on existing connections are shed...
+            with pytest.raises(AdmissionError, match="draining"):
+                probe.ping()
+            # ...while the in-flight request is allowed to finish.
+            release.set()
+            worker.join(30)
+            assert result["slow"]["pong"] is True
+            assert thread.wait(30)
+        finally:
+            release.set()
+            for client in (slow, probe, control):
+                client.close()
+        # The drained server checkpointed the (empty) manager state cleanly.
+        assert manager._closed

@@ -17,14 +17,15 @@ from repro.exceptions import (
 )
 from repro.serving import (
     RemoteSessionAdapter,
+    RetryPolicy,
     ScriptedUser,
     ServerThread,
     ServingClient,
     SessionManager,
     session_fingerprint,
 )
-from repro.serving.client import RemoteError
-from repro.serving.protocol import PROTOCOL_VERSION
+from repro.serving.client import ConnectionBrokenError, RemoteError
+from repro.serving.protocol import MAX_LINE_BYTES, PROTOCOL_VERSION, decode_line
 
 
 @pytest.fixture
@@ -89,6 +90,22 @@ class TestControlPlane:
         assert stats["slo"]["classes"]["explore"]["budget_s"] == 30.0
 
 
+class TestProtocolLimits:
+    def test_oversized_frame_gets_typed_error_before_disconnect(self, server):
+        # The client's own encode_message would refuse such a frame, so a raw
+        # socket plays the misbehaving peer here.
+        with socket.create_connection((server["host"], server["port"]), timeout=10) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(b"x" * (MAX_LINE_BYTES + 1024) + b"\n")
+            handle.flush()
+            response = decode_line(handle.readline())
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+            assert f"frame exceeds {MAX_LINE_BYTES} bytes" in response["error"]["message"]
+            # Framing is lost, so the server must then drop the connection.
+            assert handle.readline() == b""
+
+
 class TestSessionOps:
     def test_full_explore_label_cycle(self, client, dataset):
         client.open("alice")
@@ -151,10 +168,10 @@ class TestAdmissionControl:
         release = threading.Event()
         original = thread.server._execute
 
-        def slow_execute(op, doc):
+        def slow_execute(op, doc, deadline=None):
             if doc.get("slow"):
                 release.wait(30)
-            return original(op, doc)
+            return original(op, doc, deadline)
 
         monkeypatch.setattr(thread.server, "_execute", slow_execute)
         host, port = thread.start()
@@ -179,6 +196,122 @@ class TestAdmissionControl:
                 assert probe.ping()["pong"] is True
         finally:
             release.set()
+            thread.stop()
+
+
+class TestControlPlaneUnderLoad:
+    def test_ping_stats_shutdown_stay_responsive_under_load(self, factory, dataset):
+        """Control traffic keeps answering while scripted users saturate the
+        pool, and a shutdown issued at the end drains cleanly."""
+        manager = SessionManager(factory, max_resident=2)
+        thread = ServerThread(
+            manager, ServingConfig(worker_threads=2, max_queue_depth=8)
+        )
+        host, port = thread.start()
+
+        def policy() -> RetryPolicy:
+            return RetryPolicy(max_attempts=6, base_delay_s=0.02, max_delay_s=0.2, seed=3)
+
+        users = [
+            ScriptedUser(name, seed, dataset.class_names, cycles=2)
+            for seed, name in enumerate(("alice", "bob"))
+        ]
+        errors: list[Exception] = []
+
+        def drive(user: ScriptedUser) -> None:
+            try:
+                with ServingClient(host, port, timeout=30.0, retry=policy()) as c:
+                    c.open(user.name)
+                    user.run(RemoteSessionAdapter(c, user.name))
+            except Exception as exc:  # surfaced to the main thread below
+                errors.append(exc)
+
+        workers = [threading.Thread(target=drive, args=(user,)) for user in users]
+        try:
+            for worker in workers:
+                worker.start()
+            with ServingClient(host, port, timeout=30.0, retry=policy()) as control:
+                probes = 0
+                while any(worker.is_alive() for worker in workers):
+                    assert control.ping()["pong"] is True
+                    stats = control.stats()
+                    assert stats["manager"]["resident_count"] <= 2
+                    probes += 1
+                    time.sleep(0.05)
+                assert probes >= 1, "the load finished before a single probe ran"
+                for worker in workers:
+                    worker.join(60)
+                assert not errors, f"scripted users failed under load: {errors}"
+                assert control.shutdown() == {"stopping": True}
+            assert thread.wait(30)
+        finally:
+            for worker in workers:
+                worker.join(60)
+        # The drain checkpointed every session the load created.
+        for user in users:
+            assert factory.exists(user.name)
+
+
+class TestHungShutdown:
+    def test_stop_raises_loudly_when_the_loop_thread_hangs(self, factory, monkeypatch):
+        manager = SessionManager(factory, max_resident=2)
+        thread = ServerThread(
+            manager, ServingConfig(worker_threads=1, drain_timeout_s=0.1)
+        )
+        release = threading.Event()
+        original = thread.server._execute
+
+        def stuck_execute(op, doc, deadline=None):
+            if doc.get("stuck"):
+                release.wait(30)
+            return original(op, doc, deadline)
+
+        monkeypatch.setattr(thread.server, "_execute", stuck_execute)
+        host, port = thread.start()
+        client = ServingClient(host, port)
+        worker = threading.Thread(target=lambda: client._call("ping", stuck=True))
+        try:
+            worker.start()
+            deadline = time.time() + 10
+            while thread.server._inflight < 1 and time.time() < deadline:
+                time.sleep(0.01)
+            # The lone worker thread is wedged, so the drain cannot finish:
+            # stop() must fail loudly instead of silently abandoning sessions.
+            with pytest.raises(ServingError, match="failed to stop"):
+                thread.stop(timeout=0.5)
+        finally:
+            release.set()
+            worker.join(30)
+            client.close()
+        # Unwedged, the already-requested shutdown completes cleanly.
+        assert thread.wait(30)
+
+
+class TestBrokenConnectionRecovery:
+    def test_mid_reply_timeout_marks_broken_and_reconnects(self, factory, monkeypatch):
+        manager = SessionManager(factory, max_resident=2)
+        thread = ServerThread(manager, ServingConfig(worker_threads=2))
+        original = thread.server._execute
+
+        def dawdling_execute(op, doc, deadline=None):
+            if doc.get("dawdle"):
+                time.sleep(0.8)  # longer than the client's socket timeout
+            return original(op, doc, deadline)
+
+        monkeypatch.setattr(thread.server, "_execute", dawdling_execute)
+        host, port = thread.start()
+        try:
+            with ServingClient(host, port, timeout=0.3) as client:
+                assert client.ping()["pong"] is True
+                with pytest.raises(ConnectionBrokenError, match="timed out"):
+                    client._call("ping", dawdle=True)
+                # The stream still holds the late reply; reusing it would
+                # answer the wrong request, so the connection is poisoned...
+                assert client._broken
+                # ...and the next call transparently reconnects.
+                assert client.ping()["pong"] is True
+                assert client.reconnects == 1
+        finally:
             thread.stop()
 
 
